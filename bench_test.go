@@ -1,0 +1,185 @@
+package dynsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynsched/internal/experiments"
+	"dynsched/internal/interference"
+	"dynsched/internal/netgraph"
+	"dynsched/internal/sinr"
+	"dynsched/internal/static"
+)
+
+// ---- One benchmark per paper experiment (see DESIGN.md §4) ----
+//
+// Each bench runs the corresponding experiment at Quick scale; the
+// cmd/experiments binary reproduces the full-scale EXPERIMENTS.md
+// numbers. Benchmarks double as end-to-end regression checks: any error
+// fails the bench.
+
+func benchExperiment(b *testing.B, id string) {
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := r.Run(experiments.Quick, int64(i)+1)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s: empty table", id)
+		}
+	}
+}
+
+func BenchmarkE1Densify(b *testing.B)       { benchExperiment(b, "E1") }
+func BenchmarkE2Stability(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3Latency(b *testing.B)       { benchExperiment(b, "E3") }
+func BenchmarkE4Adversarial(b *testing.B)   { benchExperiment(b, "E4") }
+func BenchmarkE5LinearPower(b *testing.B)   { benchExperiment(b, "E5") }
+func BenchmarkE6UniformPower(b *testing.B)  { benchExperiment(b, "E6") }
+func BenchmarkE7MAC(b *testing.B)           { benchExperiment(b, "E7") }
+func BenchmarkE8ConflictGraph(b *testing.B) { benchExperiment(b, "E8") }
+func BenchmarkE9LowerBound(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10Ablation(b *testing.B)     { benchExperiment(b, "E10") }
+func BenchmarkE11PowerControl(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkE12Radio(b *testing.B)        { benchExperiment(b, "E12") }
+func BenchmarkE13Metrics(b *testing.B)      { benchExperiment(b, "E13") }
+func BenchmarkE14Baselines(b *testing.B)    { benchExperiment(b, "E14") }
+
+// ---- Micro-benchmarks for the hot paths ----
+
+func benchSINRModel(b *testing.B, n int) *sinr.FixedPower {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := netgraph.RandomPairs(rng, n, 100, 1, 4)
+	prm := sinr.DefaultParams()
+	powers, err := sinr.Powers(g, prm, sinr.PowerLinear, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := sinr.NewFixedPower(g, prm, powers, sinr.WeightAffectance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkMeasure64Links(b *testing.B) {
+	m := benchSINRModel(b, 64)
+	r := make([]int, 64)
+	for i := range r {
+		r[i] = i % 5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		interference.Measure(m, r)
+	}
+}
+
+func BenchmarkSINRSuccesses16Tx(b *testing.B) {
+	m := benchSINRModel(b, 64)
+	tx := make([]int, 16)
+	for i := range tx {
+		tx[i] = i * 4
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Successes(tx)
+	}
+}
+
+func BenchmarkAffectanceMatrixBuild64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := netgraph.RandomPairs(rng, 64, 100, 1, 4)
+	prm := sinr.DefaultParams()
+	powers, err := sinr.Powers(g, prm, sinr.PowerLinear, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sinr.NewFixedPower(g, prm, powers, sinr.WeightAffectance); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStaticDecay(b *testing.B) {
+	m := benchSINRModel(b, 32)
+	reqs := make([]static.Request, 0, 32*8)
+	for k := 0; k < 8; k++ {
+		for e := 0; e < 32; e++ {
+			reqs = append(reqs, static.Request{Link: e, Tag: int64(k*32 + e)})
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := static.Run(rng, m, static.Decay{}, reqs, 0)
+		if !res.AllServed() {
+			b.Fatal("decay failed")
+		}
+	}
+}
+
+func BenchmarkStaticSpread(b *testing.B) {
+	m := benchSINRModel(b, 32)
+	reqs := make([]static.Request, 0, 32*8)
+	for k := 0; k < 8; k++ {
+		for e := 0; e < 32; e++ {
+			reqs = append(reqs, static.Request{Link: e, Tag: int64(k*32 + e)})
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := static.Run(rng, m, static.Spread{}, reqs, 0)
+		if !res.AllServed() {
+			b.Fatal("spread failed")
+		}
+	}
+}
+
+func BenchmarkPowerControlSolve8(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := netgraph.RandomPairs(rng, 32, 200, 1, 3)
+	pc, err := sinr.NewPowerControl(g, sinr.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := []int{0, 4, 8, 12, 16, 20, 24, 28}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc.SolvePowers(set)
+	}
+}
+
+func BenchmarkDynamicProtocolSlot(b *testing.B) {
+	g := netgraph.LineNetwork(8, 1)
+	model := interference.Identity{Links: g.NumLinks()}
+	path, _ := netgraph.ShortestPath(g, 0, 7)
+	proc, err := StochasticAtRate(model, []Generator{
+		{Choices: []PathChoice{{Path: path, P: 0.4}}},
+	}, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := NewProtocol(ProtocolConfig{
+		Model: model, Alg: FullParallel{}, M: g.NumLinks(), Lambda: 0.4, Eps: 0.25,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	res, err := Simulate(SimConfig{Slots: int64(b.N) + 64, Seed: 9}, model, proc, proto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.ProtocolErrors != 0 {
+		b.Fatal("protocol errors")
+	}
+}

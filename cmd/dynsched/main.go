@@ -1,0 +1,115 @@
+// Command dynsched runs a single configurable simulation of the dynamic
+// scheduling protocol and prints the run's metrics. It is the
+// exploration tool; cmd/experiments reproduces the paper's tables.
+//
+// Examples:
+//
+//	dynsched -model identity -topology line -nodes 8 -hops 6 -lambda 0.4
+//	dynsched -model sinr-linear -links 32 -lambda 0.08 -slots 100000
+//	dynsched -model mac -links 8 -alg rrw -lambda 0.7
+//	dynsched -model sinr-uniform -links 16 -lambda 0.03 -adversary burst -window 64
+//	dynsched -model identity -lambda 0.4 -queue-csv queue.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynsched/internal/cli"
+	"dynsched/internal/plot"
+	"dynsched/internal/sim"
+)
+
+func main() {
+	var (
+		o        cli.Options
+		slots    int64
+		queueCSV string
+	)
+	flag.StringVar(&o.Model, "model", "identity", "interference model: identity, mac, sinr-linear, sinr-uniform, sinr-power-control")
+	flag.StringVar(&o.Topology, "topology", "auto", "topology: line, grid, pairs, nested, mac, auto")
+	flag.StringVar(&o.Alg, "alg", "auto", "static algorithm: full-parallel, decay, decay-adaptive, spread, densify, trivial, mac-decay, rrw, backoff, greedy-pc, auto")
+	flag.IntVar(&o.Nodes, "nodes", 8, "node count (line/grid topologies)")
+	flag.IntVar(&o.Links, "links", 16, "link count (pairs/nested/mac topologies)")
+	flag.IntVar(&o.Hops, "hops", 4, "path length for multi-hop workloads")
+	flag.Float64Var(&o.Lambda, "lambda", 0.3, "injection rate in measure units per slot")
+	flag.Float64Var(&o.Eps, "eps", 0.25, "protocol headroom ε")
+	flag.Int64Var(&slots, "slots", 50000, "slots to simulate")
+	flag.Int64Var(&o.Seed, "seed", 1, "random seed")
+	flag.StringVar(&o.Adv, "adversary", "", "adversarial timing: burst, spread, sawtooth, rotating (empty = stochastic)")
+	flag.IntVar(&o.Window, "window", 64, "adversary window length w")
+	flag.Float64Var(&o.LossP, "loss", 0, "independent per-transmission loss probability")
+	flag.StringVar(&queueCSV, "queue-csv", "", "write the sampled queue-length series to this CSV file")
+	spec := flag.String("spec", "", "JSON run specification; file values override flags")
+	flag.Parse()
+
+	if *spec != "" {
+		data, err := os.ReadFile(*spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynsched:", err)
+			os.Exit(1)
+		}
+		o, err = cli.ParseSpec(data, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynsched:", err)
+			os.Exit(1)
+		}
+	}
+
+	if err := run(o, slots, queueCSV); err != nil {
+		fmt.Fprintln(os.Stderr, "dynsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o cli.Options, slots int64, queueCSV string) error {
+	w, err := cli.Build(o)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(sim.Config{Slots: slots, Seed: o.Seed, WarmupFrac: 0.1},
+		w.Model, w.Process, w.Protocol)
+	if err != nil {
+		return err
+	}
+
+	s := w.Protocol.Sizing()
+	fmt.Printf("network:     %d nodes, %d links, m=%d, model=%s\n",
+		w.Graph.NumNodes(), w.Graph.NumLinks(), w.M, w.Model.Name())
+	fmt.Printf("protocol:    %s  frame T=%d  J=%d  main=%d  cleanup=%d  δmax=%d\n",
+		w.Protocol.Name(), s.T, s.J, s.MainBudget, s.CleanupBudget, s.DelayMax)
+	fmt.Printf("injection:   %s  λ=%.4f\n", w.Process.Name(), w.Process.Rate())
+	fmt.Printf("run:         %d slots (%d frames)\n", res.Slots, w.Protocol.FramesRun)
+	fmt.Printf("packets:     injected=%d delivered=%d in-flight=%d\n",
+		res.Injected, res.Delivered, res.InFlight)
+	fmt.Printf("failures:    %d failed, %d clean-up hops, %d still buffered, potential Φ=%d\n",
+		w.Protocol.Failures, w.Protocol.CleanupDelivered, w.Protocol.FailedQueueLen(), w.Protocol.Potential())
+	fmt.Printf("latency:     %s\n", res.Latency)
+	fmt.Printf("queue:       mean=%.1f max=%.1f\n", res.Queue.MeanV(), res.Queue.MaxV())
+	fmt.Printf("fairness:    %.3f (Jain index over per-link service)\n", res.FairnessIndex())
+	fmt.Println(plot.Series("queue  ", &res.Queue, 60))
+	fmt.Println(plot.Histogram("latency", res.Latency, 60))
+	verdict := "STABLE"
+	if !res.Verdict.Stable {
+		verdict = "UNSTABLE"
+	}
+	fmt.Printf("verdict:     %s (tail growth %.1f over mean %.1f)\n",
+		verdict, res.Verdict.Growth, res.Verdict.TailMean)
+
+	if queueCSV != "" {
+		f, err := os.Create(queueCSV)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Queue.WriteCSV(f, "slot", "queue"); err != nil {
+			return err
+		}
+		fmt.Printf("queue series written to %s (%d samples)\n", queueCSV, res.Queue.Len())
+	}
+	if res.ProtocolErrors > 0 {
+		return fmt.Errorf("%d protocol errors — this is a bug", res.ProtocolErrors)
+	}
+	return nil
+}

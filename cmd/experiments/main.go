@@ -1,0 +1,103 @@
+// Command experiments reproduces the paper's results: it runs the
+// experiment suite E1–E10 (see DESIGN.md for the index) and prints one
+// table per experiment. Use -markdown to emit the EXPERIMENTS.md body.
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-seed N] [-only E5] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"dynsched/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "experiment scale: quick or full")
+	seed := flag.Int64("seed", 1, "random seed")
+	only := flag.String("only", "", "run a single experiment by ID (e.g. E3)")
+	markdown := flag.Bool("markdown", false, "emit markdown instead of aligned text")
+	csvDir := flag.String("csvdir", "", "also write one CSV file per experiment into this directory")
+	parallel := flag.Bool("parallel", false, "run experiments concurrently (ordered output)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	runners := experiments.All()
+	if *only != "" {
+		r, ok := experiments.ByID(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	type outcome struct {
+		tbl     *experiments.Table
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]outcome, len(runners))
+	if *parallel {
+		var wg sync.WaitGroup
+		for i, r := range runners {
+			wg.Add(1)
+			go func(i int, r experiments.Runner) {
+				defer wg.Done()
+				start := time.Now()
+				tbl, err := r.Run(scale, *seed)
+				results[i] = outcome{tbl: tbl, err: err, elapsed: time.Since(start)}
+			}(i, r)
+		}
+		wg.Wait()
+	} else {
+		for i, r := range runners {
+			start := time.Now()
+			tbl, err := r.Run(scale, *seed)
+			results[i] = outcome{tbl: tbl, err: err, elapsed: time.Since(start)}
+		}
+	}
+
+	failed := false
+	for i, r := range runners {
+		tbl, err := results[i].tbl, results[i].err
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s (%s) failed: %v\n", r.ID, r.Name, err)
+			failed = true
+			continue
+		}
+		if *markdown {
+			fmt.Println(tbl.Markdown())
+		} else {
+			fmt.Println(tbl.Format())
+			fmt.Printf("(%s in %v)\n\n", r.ID, results[i].elapsed.Round(time.Millisecond))
+		}
+		if *csvDir != "" {
+			name := filepath.Join(*csvDir, strings.ToLower(r.ID)+".csv")
+			if err := os.WriteFile(name, []byte(tbl.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", name, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,436 @@
+// Package dynsched is a library for dynamic packet scheduling in
+// wireless networks, reproducing Thomas Kesselheim's PODC 2012 paper
+// "Dynamic Packet Scheduling in Wireless Networks".
+//
+// The library turns algorithms for the *static* scheduling problem
+// (deliver a fixed set of transmission requests in few time slots) into
+// *dynamic, stable* protocols that serve packets injected over time —
+// stochastically or by a bounded adversary — with bounded expected
+// queues and latency. The transformation is black-box and works for any
+// interference model expressible as a linear interference measure: a
+// matrix W over communication links with I = ‖W·R‖∞. Instantiations
+// include the SINR (physical) model with fixed or protocol-chosen
+// powers, conflict graphs, the multiple-access channel, and
+// packet-routing networks.
+//
+// # Quick start
+//
+//	g := dynsched.LineNetwork(6, 1)
+//	model := dynsched.Identity{Links: g.NumLinks()}
+//	path, _ := dynsched.ShortestPath(g, 0, 5)
+//	proc, _ := dynsched.StochasticAtRate(model, []dynsched.Generator{{
+//		Choices: []dynsched.PathChoice{{Path: path, P: 0.5}},
+//	}}, 0.4)
+//	proto, _ := dynsched.NewProtocol(dynsched.ProtocolConfig{
+//		Model: model, Alg: dynsched.FullParallel{}, M: g.NumLinks(),
+//		Lambda: 0.4, Eps: 0.25,
+//	})
+//	res, _ := dynsched.Simulate(dynsched.SimConfig{Slots: 50000, Seed: 1},
+//		model, proc, proto)
+//	fmt.Println(res.Verdict.Stable, res.Latency.Mean())
+//
+// See the examples directory for complete programs and DESIGN.md for
+// the system inventory.
+package dynsched
+
+import (
+	"math/rand"
+
+	"dynsched/internal/baseline"
+	"dynsched/internal/capacity"
+	"dynsched/internal/conflict"
+	"dynsched/internal/core"
+	"dynsched/internal/geom"
+	"dynsched/internal/inject"
+	"dynsched/internal/interference"
+	"dynsched/internal/lowerbound"
+	"dynsched/internal/mac"
+	"dynsched/internal/netgraph"
+	"dynsched/internal/radio"
+	"dynsched/internal/sim"
+	"dynsched/internal/sinr"
+	"dynsched/internal/static"
+	"dynsched/internal/traffic"
+)
+
+// ---- Geometry and networks ----
+
+// Point is a planar location.
+type Point = geom.Point
+
+// NodeID identifies a network node.
+type NodeID = netgraph.NodeID
+
+// LinkID identifies a directed communication link.
+type LinkID = netgraph.LinkID
+
+// Graph is a directed communication graph.
+type Graph = netgraph.Graph
+
+// Path is a packet's fixed route, as a sequence of link IDs.
+type Path = netgraph.Path
+
+// Instance couples a graph with the path-length bound D; its M() is the
+// significant network size m = max(|E|, D).
+type Instance = netgraph.Instance
+
+// RoutingTable holds precomputed all-pairs shortest paths.
+type RoutingTable = netgraph.RoutingTable
+
+// NewGraph creates an empty graph with n nodes.
+func NewGraph(n int) *Graph { return netgraph.New(n) }
+
+// GridNetwork builds a rows×cols grid with bidirectional neighbour links.
+func GridNetwork(rows, cols int, spacing float64) *Graph {
+	return netgraph.GridNetwork(rows, cols, spacing)
+}
+
+// LineNetwork builds n collinear nodes with bidirectional neighbour links.
+func LineNetwork(n int, spacing float64) *Graph { return netgraph.LineNetwork(n, spacing) }
+
+// MACChannelNetwork builds n stations with one link each to a common sink.
+func MACChannelNetwork(n int) *Graph { return netgraph.MACChannel(n) }
+
+// ShortestPath returns a minimum-hop path between two nodes.
+func ShortestPath(g *Graph, u, v NodeID) (Path, bool) { return netgraph.ShortestPath(g, u, v) }
+
+// NewRoutingTable precomputes all-pairs shortest paths.
+func NewRoutingTable(g *Graph) *RoutingTable { return netgraph.NewRoutingTable(g) }
+
+// NewInstance wraps a graph with the path-length bound D.
+func NewInstance(g *Graph, maxPathLen int) *Instance { return netgraph.NewInstance(g, maxPathLen) }
+
+// ---- Interference models ----
+
+// Model is the central abstraction: the analysis matrix W plus the
+// slot-level ground truth of which simultaneous transmissions succeed.
+type Model = interference.Model
+
+// Identity is the packet-routing model (W = identity; measure = congestion).
+type Identity = interference.Identity
+
+// MAC is the multiple-access-channel model (W = all ones; one success
+// per slot network-wide).
+type MAC = interference.AllOnes
+
+// Lossy wraps a model with independent per-transmission loss.
+type Lossy = interference.Lossy
+
+// Measure returns I = ‖W·R‖∞ for a request vector.
+func Measure(m Model, r []int) float64 { return interference.Measure(m, r) }
+
+// SINRParams are the physical constants of the SINR model.
+type SINRParams = sinr.Params
+
+// PowerKind names the built-in SINR power-assignment families.
+type PowerKind = sinr.PowerKind
+
+// SINR power assignment families.
+const (
+	PowerUniform    = sinr.PowerUniform
+	PowerLinear     = sinr.PowerLinear
+	PowerSquareRoot = sinr.PowerSquareRoot
+)
+
+// WeightKind selects the Section 6.1 weight-matrix construction.
+type WeightKind = sinr.WeightKind
+
+// SINR fixed-power weight-matrix constructions.
+const (
+	WeightAffectance = sinr.WeightAffectance
+	WeightMonotone   = sinr.WeightMonotone
+)
+
+// SINRFixedPower is the physical model with fixed per-link powers.
+type SINRFixedPower = sinr.FixedPower
+
+// SINRPowerControl is the physical model where the protocol chooses
+// powers per transmission.
+type SINRPowerControl = sinr.PowerControl
+
+// DefaultSINRParams returns α=3, β=1.5, negligible noise.
+func DefaultSINRParams() SINRParams { return sinr.DefaultParams() }
+
+// SINRPowers computes per-link powers for a built-in family.
+func SINRPowers(g *Graph, prm SINRParams, kind PowerKind, base float64) ([]float64, error) {
+	return sinr.Powers(g, prm, kind, base)
+}
+
+// NewSINRFixedPower builds a fixed-power SINR model on a positioned graph.
+func NewSINRFixedPower(g *Graph, prm SINRParams, powers []float64, kind WeightKind) (*SINRFixedPower, error) {
+	return sinr.NewFixedPower(g, prm, powers, kind)
+}
+
+// NewSINRPowerControl builds the power-control SINR model of Section 6.2.
+func NewSINRPowerControl(g *Graph, prm SINRParams) (*SINRPowerControl, error) {
+	return sinr.NewPowerControl(g, prm)
+}
+
+// IsFadingMetric reports whether the graph's node metric is a fading
+// metric for the parameters (α above the estimated doubling dimension),
+// the regime where Corollary 14's ratio improves to O(log m).
+func IsFadingMetric(g *Graph, prm SINRParams) bool { return sinr.IsFadingMetric(g, prm) }
+
+// DoublingDimension estimates the doubling dimension of a finite metric
+// given by its distance matrix.
+func DoublingDimension(dist [][]float64) float64 { return geom.DoublingDimension(dist) }
+
+// ConflictGraph is an undirected conflict relation over links.
+type ConflictGraph = conflict.Graph
+
+// NewConflictGraph creates a conflict graph over n links.
+func NewConflictGraph(n int) *ConflictGraph { return conflict.NewGraph(n) }
+
+// NodeConstraintConflicts builds the conflict graph in which links
+// sharing an endpoint conflict.
+func NodeConstraintConflicts(g *Graph) *ConflictGraph { return conflict.NodeConstraint(g) }
+
+// Distance2MatchingConflicts builds the distance-2 matching conflict graph.
+func Distance2MatchingConflicts(g *Graph) *ConflictGraph { return conflict.Distance2Matching(g) }
+
+// ProtocolModelConflicts builds the protocol-model conflict graph with
+// guard parameter delta.
+func ProtocolModelConflicts(g *Graph, delta float64) *ConflictGraph {
+	return conflict.ProtocolModel(g, delta)
+}
+
+// NewConflictModel adapts a conflict graph and ordering (nil = degeneracy
+// order) into an interference model per Section 7.2.
+func NewConflictModel(cg *ConflictGraph, order []int) (Model, error) {
+	return conflict.NewModel(cg, order)
+}
+
+// ---- Static algorithms ----
+
+// Request is a single-hop transmission demand for static scheduling.
+type Request = static.Request
+
+// StaticAlgorithm schedules a fixed set of requests.
+type StaticAlgorithm = static.Algorithm
+
+// StaticResult summarises a standalone static run.
+type StaticResult = static.Result
+
+// Decay is the 1/(4I) randomized algorithm of Theorem 19 (O(I·log n)).
+type Decay = static.Decay
+
+// Spread is the delay-spreading O(I + polylog) algorithm used for
+// linear power assignments (Corollary 12).
+type Spread = static.Spread
+
+// Densify is Algorithm 1: the Section 3 transformation making schedule
+// lengths linear in I for dense instances.
+type Densify = static.Densify
+
+// Trivial serves one request per slot (the universal fallback).
+type Trivial = static.Trivial
+
+// FullParallel fires every link each slot (optimal for packet routing).
+type FullParallel = static.FullParallel
+
+// GreedyPowerControl is the centralized scheduler for the power-control
+// model (Corollary 14).
+type GreedyPowerControl = static.GreedyPowerControl
+
+// MACDecay is Algorithm 2, the symmetric multiple-access-channel scheme
+// of Lemma 15.
+type MACDecay = mac.Decay
+
+// RoundRobinWithholding is the asymmetric deterministic MAC scheme of
+// Lemma 17.
+type RoundRobinWithholding = mac.RoundRobinWithholding
+
+// RunStatic drives a static algorithm to completion (maxSlots ≤ 0 uses
+// the algorithm's own budget).
+func RunStatic(seed int64, m Model, alg StaticAlgorithm, reqs []Request, maxSlots int) StaticResult {
+	return static.Run(newRand(seed), m, alg, reqs, maxSlots)
+}
+
+// RequestMeasure computes ‖W·R‖∞ of a request multiset.
+func RequestMeasure(m Model, reqs []Request) float64 { return static.RequestMeasure(m, reqs) }
+
+// ---- Injection ----
+
+// Packet is an injected communication request with a fixed path.
+type Packet = inject.Packet
+
+// InjectionProcess produces the packets arriving at each slot.
+type InjectionProcess = inject.Process
+
+// Generator is one user of the stochastic injection model.
+type Generator = inject.Generator
+
+// PathChoice is a (path, probability) option of a generator.
+type PathChoice = inject.PathChoice
+
+// Stochastic is the finite-user i.i.d. injection process of Section 2.1.
+type Stochastic = inject.Stochastic
+
+// Adversary is a (w, λ)-bounded window-adversary injection process.
+type Adversary = inject.Adversary
+
+// AdversaryTiming places a pattern adversary's packets in its window.
+type AdversaryTiming = inject.Timing
+
+// Adversary timings.
+const (
+	TimingBurst    = inject.TimingBurst
+	TimingSpread   = inject.TimingSpread
+	TimingSawtooth = inject.TimingSawtooth
+)
+
+// NewStochastic builds a stochastic process and computes its rate.
+func NewStochastic(m Model, gens []Generator) (*Stochastic, error) {
+	return inject.NewStochastic(m, gens)
+}
+
+// StochasticAtRate scales generators to an exact injection rate λ.
+func StochasticAtRate(m Model, gens []Generator, lambda float64) (*Stochastic, error) {
+	return inject.StochasticAtRate(m, gens, lambda)
+}
+
+// NewAdversary builds a deterministic (w, λ)-bounded pattern adversary.
+func NewAdversary(m Model, paths []Path, w int, lambda float64, timing AdversaryTiming) (Adversary, error) {
+	return inject.NewPattern(m, paths, w, lambda, timing)
+}
+
+// NewRotatingAdversary builds a (w, λ)-bounded adversary that spends
+// each window's whole budget on a single path, cycling across windows.
+func NewRotatingAdversary(m Model, paths []Path, w int, lambda float64, timing AdversaryTiming) (Adversary, error) {
+	return inject.NewRotating(m, paths, w, lambda, timing)
+}
+
+// InjectionTrace is a recorded arrival sequence replayable across runs,
+// for paired protocol comparisons.
+type InjectionTrace = inject.Trace
+
+// RecordInjections runs a process for the given horizon and captures
+// every arrival.
+func RecordInjections(proc InjectionProcess, slots, seed int64) *InjectionTrace {
+	return inject.Record(proc, slots, newRand(seed))
+}
+
+// ---- The dynamic protocol (the paper's contribution) ----
+
+// ProtocolConfig parameterises the dynamic protocol.
+type ProtocolConfig = core.Config
+
+// Protocol is the frame-based dynamic scheduling protocol of Sections
+// 4–5.
+type Protocol = core.Protocol
+
+// Sizing describes the protocol's derived frame layout.
+type Sizing = core.Sizing
+
+// NewProtocol builds the dynamic protocol, solving for the frame length
+// when cfg.T is zero.
+func NewProtocol(cfg ProtocolConfig) (*Protocol, error) { return core.New(cfg) }
+
+// SolveFrameLength finds the smallest self-consistent frame length for
+// an algorithm at rate λ with headroom ε.
+func SolveFrameLength(alg StaticAlgorithm, numLinks, m int, lambda, eps float64) (int, error) {
+	return core.SolveFrameLength(alg, numLinks, m, lambda, eps)
+}
+
+// ConcentrationFrameLength returns the frame length that puts the frame
+// capacity `sigmas` standard deviations above the mean arrivals.
+func ConcentrationFrameLength(lambda, eps, sigmas float64) int {
+	return core.ConcentrationFrameLength(lambda, eps, sigmas)
+}
+
+// ---- Baselines ----
+
+// NewMaxWeight builds the centralized Tassiulas–Ephremides reference
+// scheduler.
+func NewMaxWeight(m Model) *baseline.MaxWeight { return baseline.NewMaxWeight(m) }
+
+// NewMACFallback builds the serializing O(m)-competitive fallback.
+func NewMACFallback(numLinks int) *baseline.MACFallback { return baseline.NewMACFallback(numLinks) }
+
+// NewFIFOGreedy builds the greedy per-link FIFO protocol.
+func NewFIFOGreedy(numLinks int) *baseline.FIFOGreedy { return baseline.NewFIFOGreedy(numLinks) }
+
+// ---- Lower bound (Theorem 20 / Figure 1) ----
+
+// Figure1Model is the lower-bound instance: m−1 interference-free short
+// links plus one long link requiring global silence.
+type Figure1Model = lowerbound.Model
+
+// NewGlobalTDM builds the global-clock even/odd protocol for Figure 1.
+func NewGlobalTDM(m Figure1Model) *lowerbound.GlobalTDM { return lowerbound.NewGlobalTDM(m) }
+
+// NewLocalGreedy builds the local-clock greedy protocol for Figure 1.
+func NewLocalGreedy(m Figure1Model) *lowerbound.LocalGreedy { return lowerbound.NewLocalGreedy(m) }
+
+// ---- Radio-network model (§7.2) ----
+
+// RadioModel is the broadcast interference model: a node receives iff
+// exactly one audible neighbour transmits.
+type RadioModel = radio.Model
+
+// NewRadioModel derives the radio model (and its conflict-graph W) from
+// a communication graph.
+func NewRadioModel(g *Graph) (*RadioModel, error) { return radio.New(g) }
+
+// ---- Traffic workloads ----
+
+// TrafficSingleHop injects one generator per link at the given rate.
+func TrafficSingleHop(m Model, lambda float64) (*Stochastic, error) {
+	return traffic.SingleHop(m, lambda)
+}
+
+// TrafficPaths spreads the rate across explicit paths.
+func TrafficPaths(m Model, paths []Path, lambda float64) (*Stochastic, error) {
+	return traffic.Paths(m, paths, lambda)
+}
+
+// TrafficConvergecast routes every node to a sink; it returns the
+// process and the longest route.
+func TrafficConvergecast(m Model, g *Graph, sink NodeID, lambda float64) (*Stochastic, int, error) {
+	return traffic.Convergecast(m, g, sink, lambda)
+}
+
+// ---- Capacity references ----
+
+// SlotCapacity estimates the largest number of links deliverable in a
+// single slot (exact for ≤20 links, randomized greedy beyond).
+func SlotCapacity(seed int64, m Model) int {
+	return capacity.SlotCapacity(rand.New(rand.NewSource(seed)), m)
+}
+
+// MaxFeasibleMeasure estimates the optimal protocol's per-slot measure
+// throughput: the largest ‖W·R‖∞ of any single-slot feasible set.
+func MaxFeasibleMeasure(seed int64, m Model, rounds int) float64 {
+	return capacity.MaxFeasibleMeasure(rand.New(rand.NewSource(seed)), m, rounds)
+}
+
+// ---- Simulation ----
+
+// SimConfig parameterises a simulation run.
+type SimConfig = sim.Config
+
+// SimResult aggregates a run's metrics.
+type SimResult = sim.Result
+
+// SimProtocol is the interface dynamic protocols implement.
+type SimProtocol = sim.Protocol
+
+// Transmission is a protocol's request to send one packet on one link.
+type Transmission = sim.Transmission
+
+// Simulate runs a protocol against a model and injection process.
+func Simulate(cfg SimConfig, m Model, proc InjectionProcess, proto SimProtocol) (*SimResult, error) {
+	return sim.Run(cfg, m, proc, proto)
+}
+
+// ReplicateInput bundles one replication's components.
+type ReplicateInput = sim.RunInput
+
+// ReplicateResult aggregates independent replications.
+type ReplicateResult = sim.ReplicateResult
+
+// Replicate runs independent replications in parallel with distinct
+// seeds and aggregates the headline metrics.
+func Replicate(cfg SimConfig, reps int, build func(rep int, seed int64) (ReplicateInput, error)) (*ReplicateResult, error) {
+	return sim.Replicate(cfg, reps, build)
+}

@@ -1,0 +1,93 @@
+package dynsched
+
+import "testing"
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quick-start does: build a network, pick a model, inject traffic, run
+// the dynamic protocol, and check stability.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := LineNetwork(6, 1)
+	model := Identity{Links: g.NumLinks()}
+	path, ok := ShortestPath(g, 0, 5)
+	if !ok {
+		t.Fatal("no path")
+	}
+	proc, err := StochasticAtRate(model, []Generator{
+		{Choices: []PathChoice{{Path: path, P: 0.5}}},
+	}, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewProtocol(ProtocolConfig{
+		Model: model, Alg: FullParallel{}, M: g.NumLinks(), Lambda: 0.4, Eps: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(SimConfig{Slots: 20000, Seed: 1}, model, proc, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdict.Stable {
+		t.Errorf("quick-start scenario unstable: %+v", res.Verdict)
+	}
+	if res.ProtocolErrors != 0 {
+		t.Errorf("%d protocol errors", res.ProtocolErrors)
+	}
+}
+
+// TestFacadeSINR builds the SINR path through the facade.
+func TestFacadeSINR(t *testing.T) {
+	g := GridNetwork(3, 3, 1)
+	prm := DefaultSINRParams()
+	powers, err := SINRPowers(g, prm, PowerUniform, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewSINRFixedPower(g, prm, powers, WeightMonotone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]Request, g.NumLinks())
+	for e := range reqs {
+		reqs[e] = Request{Link: e, Tag: int64(e)}
+	}
+	res := RunStatic(3, model, Spread{}, reqs, 0)
+	if !res.AllServed() {
+		t.Errorf("spread served %d/%d", res.NumServed(), len(reqs))
+	}
+	if RequestMeasure(model, reqs) <= 0 {
+		t.Error("zero measure")
+	}
+}
+
+// TestFacadeConflict builds the conflict-graph path through the facade.
+func TestFacadeConflict(t *testing.T) {
+	g := LineNetwork(5, 1)
+	cg := NodeConstraintConflicts(g)
+	model, err := NewConflictModel(cg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{{Link: 0, Tag: 1}, {Link: 3, Tag: 2}}
+	res := RunStatic(4, model, Decay{}, reqs, 0)
+	if !res.AllServed() {
+		t.Error("conflict-model decay failed")
+	}
+}
+
+// TestFacadeLowerBound exercises the Figure 1 types.
+func TestFacadeLowerBound(t *testing.T) {
+	m := Figure1Model{M: 8}
+	if NewGlobalTDM(m) == nil || NewLocalGreedy(m) == nil {
+		t.Fatal("lower-bound constructors returned nil")
+	}
+}
+
+// TestFacadeBaselines exercises the baseline constructors.
+func TestFacadeBaselines(t *testing.T) {
+	m := MAC{Links: 4}
+	if NewMaxWeight(m) == nil || NewMACFallback(4) == nil || NewFIFOGreedy(4) == nil {
+		t.Fatal("baseline constructors returned nil")
+	}
+}

@@ -1,0 +1,55 @@
+// Radio: the broadcast (radio-network) interference model of Section
+// 7.2 — a node receives only when exactly one audible neighbour
+// transmits. The library derives the conflict graph automatically, and
+// the dynamic protocol runs over it unchanged: the same black-box
+// transformation, a different W matrix.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynsched"
+)
+
+func main() {
+	g := dynsched.GridNetwork(4, 4, 1)
+	model, err := dynsched.NewRadioModel(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// How much parallelism do broadcast semantics leave on this grid?
+	capacity := dynsched.SlotCapacity(1, model)
+	fmt.Printf("grid with %d links; at most %d can be delivered per slot under radio semantics\n",
+		g.NumLinks(), capacity)
+
+	// Convergecast every sensor's reports to the corner sink.
+	const lambda = 0.03
+	proc, maxHops, err := dynsched.TrafficConvergecast(model, g, 0, lambda)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inst := dynsched.NewInstance(g, maxHops)
+	proto, err := dynsched.NewProtocol(dynsched.ProtocolConfig{
+		Model:  model,
+		Alg:    dynsched.Spread{},
+		M:      inst.M(),
+		Lambda: lambda,
+		Eps:    0.25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := dynsched.Simulate(dynsched.SimConfig{Slots: 60_000, Seed: 4},
+		model, proc, proto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered %d of %d reports over routes up to %d hops (frame T=%d)\n",
+		res.Delivered, res.Injected, maxHops, proto.Sizing().T)
+	fmt.Printf("stable: %v, mean latency %.0f slots\n",
+		res.Verdict.Stable, res.Latency.Mean())
+}

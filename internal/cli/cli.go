@@ -1,0 +1,292 @@
+// Package cli holds the workload-construction logic behind cmd/dynsched
+// so it can be tested: flag values come in as an Options struct, and a
+// fully wired simulation (model, injection process, protocol) comes out.
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"dynsched/internal/core"
+	"dynsched/internal/inject"
+	"dynsched/internal/interference"
+	"dynsched/internal/mac"
+	"dynsched/internal/netgraph"
+	"dynsched/internal/sinr"
+	"dynsched/internal/static"
+)
+
+// Options mirror cmd/dynsched's flags. The JSON tags let run
+// configurations be stored as spec files and loaded with ParseSpec.
+type Options struct {
+	Model    string  `json:"model"`    // identity, mac, sinr-linear, sinr-uniform, sinr-power-control
+	Topology string  `json:"topology"` // line, grid, pairs, nested, mac, auto
+	Alg      string  `json:"alg"`      // full-parallel, decay, spread, densify, trivial, mac-decay, rrw, backoff, greedy-pc, auto
+	Nodes    int     `json:"nodes"`    // node count for line/grid
+	Links    int     `json:"links"`    // link count for pairs/nested/mac
+	Hops     int     `json:"hops"`     // path length for multi-hop workloads
+	Lambda   float64 `json:"lambda"`   // injection rate, measure units per slot
+	Eps      float64 `json:"eps"`      // protocol headroom
+	Seed     int64   `json:"seed"`
+	Adv      string  `json:"adversary"` // "", burst, spread, sawtooth, rotating
+	Window   int     `json:"window"`
+	LossP    float64 `json:"loss"`
+}
+
+// ParseSpec overlays a JSON run specification onto base (the flag
+// defaults): only keys present in the document override. Unknown keys
+// are rejected so typos fail loudly.
+func ParseSpec(data []byte, base Options) (Options, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	out := base
+	if err := dec.Decode(&out); err != nil {
+		return Options{}, fmt.Errorf("cli: parsing spec: %w", err)
+	}
+	return out, nil
+}
+
+// Workload is the assembled simulation input.
+type Workload struct {
+	Graph    *netgraph.Graph
+	Model    interference.Model
+	Paths    []netgraph.Path
+	M        int
+	Protocol *core.Protocol
+	Process  inject.Process
+}
+
+// Build assembles the workload from the options.
+func Build(o Options) (*Workload, error) {
+	g, model, paths, m, err := buildNetwork(o)
+	if err != nil {
+		return nil, err
+	}
+	if o.LossP > 0 {
+		rng := rand.New(rand.NewSource(o.Seed + 99))
+		model = &interference.Lossy{Inner: model, P: o.LossP, Rand: rng.Float64}
+	}
+	alg, err := PickAlgorithm(o.Alg, o.Model)
+	if err != nil {
+		return nil, err
+	}
+
+	var proc inject.Process
+	window := 0
+	if o.Adv != "" {
+		timing, rotate, err := ParseAdversary(o.Adv)
+		if err != nil {
+			return nil, err
+		}
+		var adv inject.Adversary
+		if rotate {
+			adv, err = inject.NewRotating(model, paths, o.Window, o.Lambda, timing)
+		} else {
+			adv, err = inject.NewPattern(model, paths, o.Window, o.Lambda, timing)
+		}
+		if err != nil {
+			return nil, err
+		}
+		proc, window = adv, o.Window
+	} else {
+		stoch, err := MultiPathStochastic(model, paths, o.Lambda)
+		if err != nil {
+			return nil, err
+		}
+		proc = stoch
+	}
+
+	proto, err := core.New(core.Config{
+		Model: model, Alg: alg, M: m,
+		Lambda: o.Lambda, Eps: o.Eps,
+		Window: window, D: o.Hops, Seed: o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Graph: g, Model: model, Paths: paths, M: m, Protocol: proto, Process: proc}, nil
+}
+
+func buildNetwork(o Options) (*netgraph.Graph, interference.Model, []netgraph.Path, int, error) {
+	rng := rand.New(rand.NewSource(o.Seed))
+	topology := o.Topology
+	if topology == "" || topology == "auto" {
+		switch o.Model {
+		case "identity":
+			topology = "line"
+		case "mac":
+			topology = "mac"
+		default:
+			topology = "pairs"
+		}
+	}
+
+	var g *netgraph.Graph
+	var paths []netgraph.Path
+	switch topology {
+	case "line":
+		g = netgraph.LineNetwork(o.Nodes, 1)
+		hops := o.Hops
+		if hops >= o.Nodes {
+			hops = o.Nodes - 1
+		}
+		if hops < 1 {
+			hops = 1
+		}
+		p, ok := netgraph.ShortestPath(g, 0, netgraph.NodeID(hops))
+		if !ok {
+			return nil, nil, nil, 0, fmt.Errorf("no %d-hop path on line", hops)
+		}
+		paths = []netgraph.Path{p}
+	case "grid":
+		side := intSqrt(o.Nodes)
+		g = netgraph.GridNetwork(side, side, 1)
+		rt := netgraph.NewRoutingTable(g)
+		n := netgraph.NodeID(side*side - 1)
+		for _, pair := range [][2]netgraph.NodeID{{0, n}, {n, 0}} {
+			if p, ok := rt.Path(pair[0], pair[1]); ok {
+				paths = append(paths, p)
+			}
+		}
+	case "pairs":
+		g = netgraph.RandomPairs(rng, o.Links, 10*float64(intSqrt(o.Links))+10, 1, 4)
+		for e := 0; e < g.NumLinks(); e++ {
+			paths = append(paths, netgraph.Path{netgraph.LinkID(e)})
+		}
+	case "nested":
+		g = netgraph.NestedChain(o.Links, 2)
+		for e := 0; e < g.NumLinks(); e++ {
+			paths = append(paths, netgraph.Path{netgraph.LinkID(e)})
+		}
+	case "mac":
+		g = netgraph.MACChannel(o.Links)
+		for e := 0; e < g.NumLinks(); e++ {
+			paths = append(paths, netgraph.Path{netgraph.LinkID(e)})
+		}
+	default:
+		return nil, nil, nil, 0, fmt.Errorf("unknown topology %q", topology)
+	}
+	if len(paths) == 0 {
+		return nil, nil, nil, 0, fmt.Errorf("topology %q produced no paths", topology)
+	}
+
+	inst := netgraph.NewInstance(g, o.Hops)
+	var model interference.Model
+	switch o.Model {
+	case "identity":
+		model = interference.Identity{Links: g.NumLinks()}
+	case "mac":
+		model = interference.AllOnes{Links: g.NumLinks()}
+	case "sinr-linear", "sinr-uniform":
+		prm := sinr.DefaultParams()
+		kind, wk := sinr.PowerLinear, sinr.WeightAffectance
+		if o.Model == "sinr-uniform" {
+			kind, wk = sinr.PowerUniform, sinr.WeightMonotone
+		}
+		powers, err := sinr.Powers(g, prm, kind, 1)
+		if err != nil {
+			return nil, nil, nil, 0, err
+		}
+		prm.Noise = sinr.MaxNoise(g, prm, powers, 0.5)
+		fp, err := sinr.NewFixedPower(g, prm, powers, wk)
+		if err != nil {
+			return nil, nil, nil, 0, err
+		}
+		model = fp
+	case "sinr-power-control":
+		pc, err := sinr.NewPowerControl(g, sinr.DefaultParams())
+		if err != nil {
+			return nil, nil, nil, 0, err
+		}
+		model = pc
+	default:
+		return nil, nil, nil, 0, fmt.Errorf("unknown model %q", o.Model)
+	}
+	return g, model, paths, inst.M(), nil
+}
+
+// PickAlgorithm resolves an algorithm name; "auto" chooses per model.
+func PickAlgorithm(name, model string) (static.Algorithm, error) {
+	if name == "" || name == "auto" {
+		switch model {
+		case "identity":
+			name = "full-parallel"
+		case "mac":
+			name = "rrw"
+		case "sinr-power-control":
+			name = "greedy-pc"
+		default:
+			name = "spread"
+		}
+	}
+	switch name {
+	case "full-parallel":
+		return static.FullParallel{}, nil
+	case "decay":
+		return static.Decay{}, nil
+	case "decay-adaptive":
+		return static.Decay{Adaptive: true}, nil
+	case "spread":
+		return static.Spread{}, nil
+	case "densify":
+		return static.Densify{Inner: static.Decay{}, Chi: 6}, nil
+	case "trivial":
+		return static.Trivial{}, nil
+	case "mac-decay":
+		return mac.Decay{}, nil
+	case "rrw":
+		return mac.RoundRobinWithholding{}, nil
+	case "backoff":
+		return mac.Backoff{}, nil
+	case "greedy-pc":
+		return static.GreedyPowerControl{}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// ParseAdversary resolves an adversary spec into a timing and rotation
+// flag.
+func ParseAdversary(s string) (inject.Timing, bool, error) {
+	switch s {
+	case "burst":
+		return inject.TimingBurst, false, nil
+	case "spread":
+		return inject.TimingSpread, false, nil
+	case "sawtooth":
+		return inject.TimingSawtooth, false, nil
+	case "rotating":
+		return inject.TimingBurst, true, nil
+	default:
+		return 0, false, fmt.Errorf("unknown adversary timing %q", s)
+	}
+}
+
+// MultiPathStochastic builds a stochastic process over the given paths
+// at exactly rate lambda, splitting each path's load over enough
+// generators that super-critical rates remain expressible.
+func MultiPathStochastic(m interference.Model, paths []netgraph.Path, lambda float64) (*inject.Stochastic, error) {
+	perPath := int(lambda) + 2
+	var gens []inject.Generator
+	for _, p := range paths {
+		for i := 0; i < perPath; i++ {
+			gens = append(gens, inject.Generator{Choices: []inject.PathChoice{
+				{Path: p, P: 1.0 / float64(perPath+1)},
+			}})
+		}
+	}
+	return inject.StochasticAtRate(m, gens, lambda)
+}
+
+func intSqrt(n int) int {
+	if n < 1 {
+		return 1
+	}
+	r := 1
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,169 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"dynsched/internal/sim"
+)
+
+func defaults() Options {
+	return Options{
+		Model: "identity", Topology: "auto", Alg: "auto",
+		Nodes: 6, Links: 8, Hops: 3, Lambda: 0.3, Eps: 0.25, Seed: 1,
+		Window: 32,
+	}
+}
+
+func TestBuildEveryModel(t *testing.T) {
+	models := []string{"identity", "mac", "sinr-linear", "sinr-uniform", "sinr-power-control"}
+	for _, m := range models {
+		o := defaults()
+		o.Model = m
+		switch m {
+		case "sinr-power-control":
+			o.Lambda = 0.01 // the centralized scheduler's throughput is lower
+		case "sinr-linear", "sinr-uniform":
+			o.Lambda = 0.05 // Spread's f(m) ≈ 8 caps the rate well below 1
+		}
+		w, err := Build(o)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if w.Model == nil || w.Protocol == nil || w.Process == nil {
+			t.Fatalf("%s: incomplete workload", m)
+		}
+		// Every built workload must actually simulate.
+		res, err := sim.Run(sim.Config{Slots: 2000, Seed: 2}, w.Model, w.Process, w.Protocol)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if res.ProtocolErrors != 0 {
+			t.Fatalf("%s: %d protocol errors", m, res.ProtocolErrors)
+		}
+	}
+}
+
+func TestBuildEveryTopology(t *testing.T) {
+	for _, topo := range []string{"line", "grid", "pairs", "nested", "mac"} {
+		o := defaults()
+		o.Topology = topo
+		o.Model = "identity"
+		if topo == "mac" {
+			o.Model = "mac"
+			o.Lambda = 0.2
+		}
+		if _, err := Build(o); err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+	}
+	o := defaults()
+	o.Topology = "klein-bottle"
+	if _, err := Build(o); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestBuildAdversaries(t *testing.T) {
+	for _, adv := range []string{"burst", "spread", "sawtooth", "rotating"} {
+		o := defaults()
+		o.Adv = adv
+		w, err := Build(o)
+		if err != nil {
+			t.Fatalf("%s: %v", adv, err)
+		}
+		if !strings.Contains(w.Process.Name(), "adversary") {
+			t.Fatalf("%s: process is %s, not an adversary", adv, w.Process.Name())
+		}
+		if adv == "rotating" && !strings.Contains(w.Process.Name(), "rotating") {
+			t.Fatalf("rotating flag ignored: %s", w.Process.Name())
+		}
+	}
+	o := defaults()
+	o.Adv = "quantum"
+	if _, err := Build(o); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+}
+
+func TestPickAlgorithm(t *testing.T) {
+	names := []string{
+		"full-parallel", "decay", "decay-adaptive", "spread", "densify",
+		"trivial", "mac-decay", "rrw", "backoff", "greedy-pc",
+	}
+	for _, n := range names {
+		alg, err := PickAlgorithm(n, "identity")
+		if err != nil || alg == nil {
+			t.Fatalf("%s: (%v, %v)", n, alg, err)
+		}
+	}
+	if _, err := PickAlgorithm("nope", "identity"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	// Auto resolution per model.
+	autos := map[string]string{
+		"identity":           "full-parallel",
+		"mac":                "round-robin-withholding",
+		"sinr-linear":        "spread",
+		"sinr-power-control": "greedy-power-control",
+	}
+	for model, want := range autos {
+		alg, err := PickAlgorithm("auto", model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alg.Name() != want {
+			t.Errorf("auto for %s = %s, want %s", model, alg.Name(), want)
+		}
+	}
+}
+
+func TestBuildWithLoss(t *testing.T) {
+	o := defaults()
+	o.LossP = 0.1
+	w, err := Build(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(w.Model.Name(), "lossy") {
+		t.Fatalf("loss option ignored: model %s", w.Model.Name())
+	}
+}
+
+func TestBuildRejectsOverload(t *testing.T) {
+	o := defaults()
+	o.Lambda = 5 // far beyond FullParallel's throughput 1
+	if _, err := Build(o); err == nil {
+		t.Fatal("impossible provisioning accepted")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	base := defaults()
+	out, err := ParseSpec([]byte(`{"model":"mac","lambda":0.7,"alg":"rrw"}`), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Model != "mac" || out.Lambda != 0.7 || out.Alg != "rrw" {
+		t.Fatalf("spec not applied: %+v", out)
+	}
+	// Unspecified keys keep the base values.
+	if out.Nodes != base.Nodes || out.Eps != base.Eps {
+		t.Fatalf("base values lost: %+v", out)
+	}
+	// Typos fail loudly.
+	if _, err := ParseSpec([]byte(`{"lamda":0.7}`), base); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := ParseSpec([]byte(`{`), base); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	// A parsed spec builds end to end.
+	spec, err := ParseSpec([]byte(`{"model":"identity","topology":"line","lambda":0.3}`), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(spec); err != nil {
+		t.Fatal(err)
+	}
+}

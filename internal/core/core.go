@@ -1,0 +1,536 @@
+// Package core implements the paper's primary contribution: the
+// black-box transformation of a static scheduling algorithm into a
+// stable dynamic packet-scheduling protocol (Sections 4 and 5).
+//
+// Time is divided into frames of T slots. Each frame runs the static
+// algorithm twice:
+//
+//   - Main phase (T' = f(m)·J + g(m, m·J) slots, J = (1+ε)λT): the
+//     algorithm is executed on the next hop of every live packet, with
+//     the intent that each packet advances one hop per frame.
+//   - Clean-up phase (the remaining slots): packets that failed — the
+//     frame was overloaded or the algorithm's internal randomness lost
+//     them — sit in per-edge failure buffers. Each edge with a non-empty
+//     buffer independently offers its longest-failed packet with
+//     probability 1/m, and the algorithm runs on the offered singletons.
+//
+// A packet that fails once is served exclusively by clean-up phases from
+// then on (its remaining hops all go through the buffers), exactly as in
+// the paper's potential-function analysis. For adversarial injection
+// (Section 5) every packet additionally waits a uniformly random number
+// of frames below δmax = ⌈2(D+w)/ε⌉ before entering the system.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dynsched/internal/inject"
+	"dynsched/internal/interference"
+	"dynsched/internal/sim"
+	"dynsched/internal/static"
+)
+
+// Config parameterises the dynamic protocol.
+type Config struct {
+	// Model is the interference model the protocol schedules against.
+	Model interference.Model
+	// Alg is the static algorithm being transformed.
+	Alg static.Algorithm
+	// M is the significant network size m = max(|E|, D).
+	M int
+	// Lambda is the injection rate the protocol is provisioned for.
+	Lambda float64
+	// Eps is the paper's ε: the protocol targets λ = (1−ε)/f(m), and
+	// frame capacity J = (1+ε)·λ·T. Values outside (0, 1/2] default to 1/2.
+	Eps float64
+	// T overrides the frame length; 0 solves for the smallest
+	// self-consistent frame (see SolveFrameLength).
+	T int
+	// CleanupProb overrides the per-edge clean-up selection probability;
+	// 0 means the paper's 1/m.
+	CleanupProb float64
+
+	// Window, when positive, enables the adversarial-injection wrapper
+	// of Section 5 with window length w.
+	Window int
+	// D is the path-length bound (needed to size δmax when Window > 0;
+	// 0 falls back to M).
+	D int
+	// DelayMax overrides δmax in frames; 0 means ⌈2(D+w)/ε⌉ scaled by
+	// DelayScale.
+	DelayMax int
+	// DelayScale shrinks the paper's δmax for simulation-scale runs
+	// (0 = 1, i.e. the paper's value).
+	DelayScale float64
+
+	// DisableCleanup turns off the clean-up phase (failure ablation).
+	DisableCleanup bool
+	// DisableDelays turns off the adversarial random initial delays
+	// while keeping Window semantics (ablation).
+	DisableDelays bool
+
+	// Seed seeds the protocol's private randomness (initial delays).
+	Seed int64
+}
+
+func (c Config) eps() float64 {
+	if c.Eps <= 0 || c.Eps > 0.5 {
+		return 0.5
+	}
+	return c.Eps
+}
+
+// Sizing describes the frame layout the protocol derived from its
+// configuration.
+type Sizing struct {
+	T             int // frame length
+	J             int // per-frame capacity (1+ε)λT
+	MainBudget    int // T': slots of the main phase
+	CleanupBudget int // slots of the clean-up phase execution
+	DelayMax      int // adversarial initial-delay bound, in frames
+}
+
+// SolveFrameLength finds the smallest frame length T such that the main
+// phase A(J, m·J) with J = (1+ε)λT and the clean-up phase A(1, m·J) both
+// fit: T ≥ Budget(J, mJ) + Budget(1, mJ). The fixed point exists exactly
+// when the algorithm's per-measure cost satisfies f(m)·(1+ε)·λ < 1 —
+// the paper's stability condition λ < 1/f(m) with its ε-headroom.
+func SolveFrameLength(alg static.Algorithm, numLinks, m int, lambda, eps float64) (int, error) {
+	if lambda <= 0 {
+		return 0, fmt.Errorf("core: non-positive injection rate %v", lambda)
+	}
+	t := 16
+	for iter := 0; iter < 200; iter++ {
+		j := frameJ(lambda, eps, t)
+		need := alg.Budget(numLinks, float64(j), m*j) + alg.Budget(numLinks, 1, m*j)
+		if need <= t {
+			return t, nil
+		}
+		if need > 1<<26 {
+			return 0, fmt.Errorf("core: frame length diverges (λ=%v exceeds the algorithm's stable throughput 1/f(m))", lambda)
+		}
+		t = need
+	}
+	return 0, fmt.Errorf("core: frame length failed to converge for λ=%v", lambda)
+}
+
+// ConcentrationFrameLength returns the frame length needed for the
+// per-frame capacity J = (1+ε)λT to sit `sigmas` standard deviations
+// above the mean arrival measure λT (Poisson-scale concentration):
+// ε·λT ≥ sigmas·√(λT) ⟺ T ≥ sigmas²/(ε²·λ). This is the practical
+// counterpart of the paper's T ≥ 100·f(m)/ε³ condition — without it,
+// frames overflow constantly and failed packets swamp the clean-up
+// phase. Combine with SolveFrameLength via max.
+func ConcentrationFrameLength(lambda, eps, sigmas float64) int {
+	if lambda <= 0 || eps <= 0 {
+		return 1
+	}
+	return int(math.Ceil(sigmas * sigmas / (eps * eps * lambda)))
+}
+
+func frameJ(lambda, eps float64, t int) int {
+	j := int(math.Ceil((1 + eps) * lambda * float64(t)))
+	if j < 1 {
+		j = 1
+	}
+	return j
+}
+
+// pkt is the protocol's view of one packet.
+type pkt struct {
+	id            int64
+	path          []int
+	hop           int
+	failed        bool
+	failSlot      int64
+	activateFrame int64
+}
+
+// Protocol is the dynamic scheduling protocol. It implements
+// sim.Protocol.
+type Protocol struct {
+	cfg    Config
+	sizing Sizing
+	name   string
+
+	// mainAlg and cleanupAlg are the phase-specific algorithm variants
+	// (measure-bounded when the algorithm supports it).
+	mainAlg    static.Algorithm
+	cleanupAlg static.Algorithm
+
+	packets map[int64]*pkt
+	// failBuf[e] holds failed packets whose next hop is link e, ordered
+	// by failure time (oldest first).
+	failBuf [][]*pkt
+
+	rng *rand.Rand // protocol-private randomness (initial delays)
+
+	frame     int64
+	exec      static.Execution // current phase execution (nil when idle)
+	execByPkt map[int64]int    // packet ID → request index in exec
+	execPkts  []*pkt           // request index → packet
+	execHops  []int            // request index → hop at phase start
+	inCleanup bool
+
+	// Counters for experiments and tests.
+	Failures         int64 // fail events (first failures only)
+	CleanupDelivered int64 // hops completed in clean-up phases
+	FramesRun        int64
+
+	// frameLog is a bounded ring of recent per-frame statistics.
+	frameLog   []FrameStat
+	frameHead  int
+	frameCount int
+	curFrame   FrameStat
+}
+
+// FrameStat summarises one frame of protocol activity.
+type FrameStat struct {
+	Frame      int64 // frame index
+	Active     int   // packets scheduled in the main phase
+	MainServed int   // hops completed in the main phase
+	Failed     int   // packets newly marked failed this frame
+	Cleanup    int   // hops completed in the clean-up phase
+	Potential  int   // Φ at frame end
+}
+
+// frameLogCap bounds the per-frame history kept for introspection.
+const frameLogCap = 512
+
+// recordFrame appends the finished frame's statistics to the ring.
+func (p *Protocol) recordFrame() {
+	p.curFrame.Potential = p.Potential()
+	if len(p.frameLog) < frameLogCap {
+		p.frameLog = append(p.frameLog, p.curFrame)
+	} else {
+		p.frameLog[p.frameHead] = p.curFrame
+		p.frameHead = (p.frameHead + 1) % frameLogCap
+	}
+	p.frameCount++
+}
+
+// RecentFrames returns up to k most recent completed frames' statistics,
+// oldest first.
+func (p *Protocol) RecentFrames(k int) []FrameStat {
+	n := len(p.frameLog)
+	if k > n {
+		k = n
+	}
+	out := make([]FrameStat, 0, k)
+	for i := n - k; i < n; i++ {
+		out = append(out, p.frameLog[(p.frameHead+i)%n])
+	}
+	return out
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New builds the protocol, solving for the frame length when cfg.T is 0.
+func New(cfg Config) (*Protocol, error) {
+	if cfg.Model == nil || cfg.Alg == nil {
+		return nil, fmt.Errorf("core: config needs Model and Alg")
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("core: network size M=%d must be positive", cfg.M)
+	}
+	eps := cfg.eps()
+	t := cfg.T
+	if t == 0 {
+		var err error
+		t, err = SolveFrameLength(cfg.Alg, cfg.Model.NumLinks(), cfg.M, cfg.Lambda, eps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	j := frameJ(cfg.Lambda, eps, t)
+	mainBudget := cfg.Alg.Budget(cfg.Model.NumLinks(), float64(j), cfg.M*j)
+	cleanupBudget := cfg.Alg.Budget(cfg.Model.NumLinks(), 1, cfg.M*j)
+	if mainBudget+cleanupBudget > t {
+		return nil, fmt.Errorf("core: frame length %d too small for phases %d+%d", t, mainBudget, cleanupBudget)
+	}
+	// Distributed fidelity: when the algorithm supports it, run the main
+	// phase against the known bound J and the clean-up phase against 1,
+	// exactly as the paper's A(J, m·J) and A(1, m·J) executions — no
+	// global inspection of the live request set.
+	mainAlg, cleanupAlg := cfg.Alg, cfg.Alg
+	if mb, ok := cfg.Alg.(static.MeasureBounded); ok {
+		mainAlg = mb.WithMeasureBound(float64(j))
+		cleanupAlg = mb.WithMeasureBound(1)
+	}
+	s := Sizing{T: t, J: j, MainBudget: mainBudget, CleanupBudget: cleanupBudget}
+	if cfg.Window > 0 && !cfg.DisableDelays {
+		s.DelayMax = cfg.DelayMax
+		if s.DelayMax == 0 {
+			d := cfg.D
+			if d == 0 {
+				d = cfg.M
+			}
+			scale := cfg.DelayScale
+			if scale <= 0 {
+				scale = 1
+			}
+			s.DelayMax = int(math.Ceil(2 * float64(d+cfg.Window) / eps * scale))
+		}
+		if s.DelayMax < 1 {
+			s.DelayMax = 1
+		}
+	}
+	return &Protocol{
+		cfg:        cfg,
+		sizing:     s,
+		name:       fmt.Sprintf("dynamic(%s)", cfg.Alg.Name()),
+		mainAlg:    mainAlg,
+		cleanupAlg: cleanupAlg,
+		packets:    make(map[int64]*pkt),
+		failBuf:    make([][]*pkt, cfg.Model.NumLinks()),
+		rng:        rand.New(rand.NewSource(cfg.Seed ^ 0x6b43a9b5)),
+	}, nil
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string { return p.name }
+
+// Sizing returns the derived frame layout.
+func (p *Protocol) Sizing() Sizing { return p.sizing }
+
+// QueueLen returns the number of undelivered packets the protocol holds.
+func (p *Protocol) QueueLen() int { return len(p.packets) }
+
+// FailedQueueLen returns the total size of the failure buffers.
+func (p *Protocol) FailedQueueLen() int {
+	n := 0
+	for _, buf := range p.failBuf {
+		n += len(buf)
+	}
+	return n
+}
+
+// Potential returns the paper's Lyapunov potential Φ: the summed number
+// of remaining hops over all failed packets (Section 4.1). The
+// stability proof shows Pr[Φ ≥ k] ≤ (1 − 1/m²J)^k at all times; the
+// experiments sample this to check the geometric decay empirically.
+func (p *Protocol) Potential() int {
+	phi := 0
+	for _, buf := range p.failBuf {
+		for _, st := range buf {
+			phi += len(st.path) - st.hop
+		}
+	}
+	return phi
+}
+
+// Inject implements sim.Protocol. Under the adversarial wrapper each
+// packet draws its uniform initial delay here, at injection time.
+func (p *Protocol) Inject(t int64, pkts []inject.Packet) {
+	frame := t / int64(p.sizing.T)
+	for _, ip := range pkts {
+		path := make([]int, len(ip.Path))
+		for i, e := range ip.Path {
+			path[i] = int(e)
+		}
+		st := &pkt{id: ip.ID, path: path, activateFrame: frame + 1}
+		if p.sizing.DelayMax > 1 {
+			st.activateFrame += int64(p.rng.Intn(p.sizing.DelayMax))
+		}
+		p.packets[ip.ID] = st
+	}
+}
+
+// Slot implements sim.Protocol.
+func (p *Protocol) Slot(t int64, rng *rand.Rand) []sim.Transmission {
+	frame := t / int64(p.sizing.T)
+	offset := int(t % int64(p.sizing.T))
+	if offset == 0 {
+		if p.FramesRun > 0 {
+			p.recordFrame()
+		}
+		p.frame = frame
+		p.FramesRun++
+		p.curFrame = FrameStat{Frame: frame}
+		p.startMainPhase(rng)
+		p.curFrame.Active = len(p.execPkts)
+	}
+	switch {
+	case offset < p.sizing.MainBudget:
+		// Main phase.
+	case offset == p.sizing.MainBudget:
+		p.endMainPhase(t)
+		p.startCleanupPhase(rng)
+	case offset >= p.sizing.MainBudget+p.sizing.CleanupBudget:
+		p.exec = nil // frame tail: idle
+	}
+	if p.exec == nil || p.exec.Done() {
+		return nil
+	}
+	attempts := p.exec.Attempts(rng)
+	out := make([]sim.Transmission, 0, len(attempts))
+	for _, idx := range attempts {
+		st := p.execPkts[idx]
+		out = append(out, sim.Transmission{Link: st.path[st.hop], PacketID: st.id})
+	}
+	return out
+}
+
+// startMainPhase builds the main-phase execution over all live,
+// activated, unfailed packets. Members are ordered by packet ID so runs
+// are deterministic under a fixed seed (map iteration order is not).
+func (p *Protocol) startMainPhase(rng *rand.Rand) {
+	p.inCleanup = false
+	var members []*pkt
+	for _, st := range p.packets {
+		if !st.failed && st.activateFrame <= p.frame {
+			members = append(members, st)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].id < members[j].id })
+	p.buildExec(members)
+}
+
+// endMainPhase marks every unserved main-phase packet as failed and
+// moves it into the failure buffer of its pending link.
+func (p *Protocol) endMainPhase(t int64) {
+	if p.inCleanup || p.exec == nil {
+		return
+	}
+	for _, st := range p.execPkts {
+		if st == nil || st.failed {
+			continue
+		}
+		if _, live := p.packets[st.id]; !live {
+			continue // delivered during the phase
+		}
+		if idx, ok := p.execByPkt[st.id]; ok && p.execServed(idx) {
+			continue
+		}
+		st.failed = true
+		st.failSlot = t
+		p.Failures++
+		p.curFrame.Failed++
+		p.pushFailed(st)
+	}
+	p.exec = nil
+}
+
+// execServed reports whether request idx succeeded: the packet's hop
+// advanced past the hop it was enqueued with.
+func (p *Protocol) execServed(idx int) bool {
+	return p.execHops[idx] < p.execPkts[idx].hop
+}
+
+// startCleanupPhase performs the random per-edge selection and builds
+// the clean-up execution.
+func (p *Protocol) startCleanupPhase(rng *rand.Rand) {
+	p.inCleanup = true
+	p.exec = nil
+	if p.cfg.DisableCleanup {
+		return
+	}
+	prob := p.cfg.CleanupProb
+	if prob <= 0 {
+		prob = 1 / float64(p.cfg.M)
+	}
+	var selected []*pkt
+	for e := range p.failBuf {
+		if len(p.failBuf[e]) == 0 {
+			continue
+		}
+		if rng.Float64() < prob {
+			selected = append(selected, p.failBuf[e][0]) // longest-failed first
+		}
+	}
+	if len(selected) > 0 {
+		p.buildExec(selected)
+	}
+}
+
+func (p *Protocol) buildExec(members []*pkt) {
+	if len(members) == 0 {
+		p.exec = nil
+		p.execPkts = nil
+		p.execByPkt = nil
+		p.execHops = nil
+		return
+	}
+	reqs := make([]static.Request, len(members))
+	p.execByPkt = make(map[int64]int, len(members))
+	p.execHops = make([]int, len(members))
+	for i, st := range members {
+		reqs[i] = static.Request{Link: st.path[st.hop], Tag: st.id}
+		p.execByPkt[st.id] = i
+		p.execHops[i] = st.hop
+	}
+	p.execPkts = members
+	alg := p.mainAlg
+	if p.inCleanup {
+		alg = p.cleanupAlg
+	}
+	p.exec = alg.NewExecution(p.cfg.Model, reqs)
+}
+
+// pushFailed inserts st into the failure buffer of its pending link,
+// keeping the buffer ordered by failure time (oldest first).
+func (p *Protocol) pushFailed(st *pkt) {
+	e := st.path[st.hop]
+	buf := p.failBuf[e]
+	at := sort.Search(len(buf), func(i int) bool {
+		if buf[i].failSlot != st.failSlot {
+			return buf[i].failSlot > st.failSlot
+		}
+		return buf[i].id > st.id
+	})
+	buf = append(buf, nil)
+	copy(buf[at+1:], buf[at:])
+	buf[at] = st
+	p.failBuf[e] = buf
+}
+
+// removeFailed removes st from the failure buffer of link e.
+func (p *Protocol) removeFailed(e int, st *pkt) {
+	buf := p.failBuf[e]
+	for i, cur := range buf {
+		if cur == st {
+			p.failBuf[e] = append(buf[:i], buf[i+1:]...)
+			return
+		}
+	}
+}
+
+// Feedback implements sim.Protocol.
+func (p *Protocol) Feedback(t int64, tx []sim.Transmission, success []bool) {
+	if p.exec == nil {
+		return
+	}
+	idxs := make([]int, 0, len(tx))
+	oks := make([]bool, 0, len(tx))
+	for i, w := range tx {
+		idx, ok := p.execByPkt[w.PacketID]
+		if !ok {
+			continue
+		}
+		idxs = append(idxs, idx)
+		oks = append(oks, success[i])
+		if !success[i] {
+			continue
+		}
+		st := p.execPkts[idx]
+		prevLink := st.path[st.hop]
+		st.hop++
+		if st.failed {
+			p.CleanupDelivered++
+			p.curFrame.Cleanup++
+			p.removeFailed(prevLink, st)
+			if st.hop < len(st.path) {
+				p.pushFailed(st) // remaining hops stay in clean-up service
+			}
+		} else {
+			p.curFrame.MainServed++
+		}
+		if st.hop == len(st.path) {
+			delete(p.packets, st.id)
+		}
+	}
+	p.exec.Observe(idxs, oks)
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"dynsched/internal/core"
+	"dynsched/internal/interference"
+	"dynsched/internal/netgraph"
+	"dynsched/internal/sim"
+	"dynsched/internal/static"
+)
+
+// E10Ablation probes the design choices the paper's analysis leans on:
+// (a) the clean-up phase — without it, packets lost to channel noise
+// are stranded forever; (b) the per-edge selection probability 1/m —
+// selecting too aggressively causes collisions between clean-up
+// packets, selecting never starves them. Workload: identity-model line
+// with a 2% lossy channel to generate a steady failure stream.
+func E10Ablation(scale Scale, seed int64) (*Table, error) {
+	slots := int64(150000)
+	if scale == Quick {
+		slots = 40000
+	}
+	const hops = 4
+	const lambda = 0.3
+	g := netgraph.LineNetwork(hops+1, 1)
+	base := interference.Identity{Links: g.NumLinks()}
+	inst := netgraph.NewInstance(g, hops)
+	path, ok := netgraph.ShortestPath(g, 0, hops)
+	if !ok {
+		return nil, errNoPath
+	}
+
+	tbl := &Table{
+		ID:    "E10",
+		Title: "Ablations: clean-up phase and selection probability (2% lossy channel)",
+		Claim: "Sections 4.1/9: the clean-up phase with per-edge probability 1/m keeps failed " +
+			"packets' buffers bounded; removing it strands every lost packet",
+		Columns: []string{
+			"variant", "failures", "cleanup-served", "failed-buffer end",
+			"delivered/injected", "queue verdict",
+		},
+	}
+
+	type variant struct {
+		name           string
+		cleanupProb    float64
+		disableCleanup bool
+	}
+	variants := []variant{
+		{name: "paper (prob 1/m)"},
+		{name: "aggressive (prob 1)", cleanupProb: 1},
+		{name: "timid (prob 1/m²)", cleanupProb: 1 / float64(inst.M()*inst.M())},
+		{name: "no clean-up", disableCleanup: true},
+	}
+
+	for i, v := range variants {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		model := &interference.Lossy{Inner: base, P: 0.02, Rand: rng.Float64}
+		proto, err := core.New(core.Config{
+			Model: model, Alg: static.FullParallel{}, M: inst.M(),
+			Lambda: lambda, Eps: 0.25,
+			CleanupProb: v.cleanupProb, DisableCleanup: v.disableCleanup,
+			Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		proc, err := multiHopGenerators(model, []netgraph.Path{path}, lambda)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(sim.Config{Slots: slots, Seed: seed + int64(i)}, model, proc, proto)
+		if err != nil {
+			return nil, err
+		}
+		frac := float64(res.Delivered) / float64(max64(res.Injected, 1))
+		tbl.AddRow(
+			v.name,
+			fmtI(int(proto.Failures)), fmtI(int(proto.CleanupDelivered)),
+			fmtI(proto.FailedQueueLen()),
+			fmtF(frac), fmtB(res.Verdict.Stable),
+		)
+	}
+	tbl.AddNote("the timid variant drains failures ~m× slower; without the clean-up phase " +
+		"every channel loss is permanent — failed-buffer = failures — so the failed population " +
+		"grows linearly forever even while the total-queue verdict looks calm over a finite run")
+	return tbl, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"dynsched/internal/capacity"
+	"dynsched/internal/core"
+	"dynsched/internal/inject"
+	"dynsched/internal/netgraph"
+	"dynsched/internal/radio"
+	"dynsched/internal/sim"
+	"dynsched/internal/static"
+)
+
+// E12Radio exercises the radio-network model of Section 7.2: broadcast
+// semantics (a node receives iff exactly one audible neighbour
+// transmits) on grid graphs. The derived conflict graphs have small
+// inductive independence ρ, so the framework yields stable protocols
+// whose measure-rate does not collapse with size — and the single-slot
+// capacity reference shows how much parallelism radio semantics leave.
+func E12Radio(scale Scale, seed int64) (*Table, error) {
+	sides := []int{3, 4, 5}
+	slots := int64(40000)
+	if scale == Quick {
+		sides = []int{3, 4}
+		slots = 12000
+	}
+	rates := []float64{0.01, 0.02, 0.03, 0.05, 0.07, 0.10, 0.14}
+
+	tbl := &Table{
+		ID:    "E12",
+		Title: "Radio-network model: conflict structure and stable rates on grids",
+		Claim: "§7.2: the radio model's conflict graph has small inductive independence on " +
+			"disk-like graphs, so the transformation yields stable O(ρ·log m)-competitive protocols",
+		Columns: []string{"grid", "links m", "ρ", "slot capacity", "max stable λ"},
+	}
+
+	for _, side := range sides {
+		g := netgraph.GridNetwork(side, side, 1)
+		model, err := radio.New(g)
+		if err != nil {
+			return nil, err
+		}
+		cg := model.ConflictGraph()
+		order := cg.DegeneracyOrder()
+		rho := cg.Rho(order, 18)
+		rng := rand.New(rand.NewSource(seed + int64(side)))
+		cap := capacity.SlotCapacity(rng, model)
+
+		alg := static.Spread{}
+		best, err := maxStableRate(rates, slots, seed, model,
+			func(lambda float64) (sim.Protocol, inject.Process, error) {
+				proto, err := core.New(core.Config{
+					Model: model, Alg: alg, M: g.NumLinks(),
+					Lambda: lambda, Eps: 0.25, Seed: seed,
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				proc, err := singleHopGenerators(model, lambda)
+				if err != nil {
+					return nil, nil, err
+				}
+				return proto, proc, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(
+			fmtI(side)+"×"+fmtI(side), fmtI(g.NumLinks()),
+			fmtI(rho), fmtI(cap), fmtF(best),
+		)
+	}
+	tbl.AddNote("slot capacity = size of the largest set of links deliverable in one slot " +
+		"under exact radio semantics (branch-and-bound for ≤20 links, randomized greedy beyond)")
+	return tbl, nil
+}

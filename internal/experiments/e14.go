@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"dynsched/internal/baseline"
+	"dynsched/internal/core"
+	"dynsched/internal/inject"
+	"dynsched/internal/interference"
+	"dynsched/internal/netgraph"
+	"dynsched/internal/sim"
+	"dynsched/internal/sinr"
+	"dynsched/internal/static"
+)
+
+// E14Baselines positions the paper's protocol against the related-work
+// baselines on identical recorded arrival traces (paired comparison):
+//
+//   - max-weight (Tassiulas–Ephremides [40]): the centralized,
+//     throughput-optimal reference the paper says it approximates;
+//   - FIFO-greedy and shortest-in-system ([3]): interference-blind
+//     packet-routing policies — fine on the identity model, broken under
+//     real interference;
+//   - the MAC fallback: the trivial O(m)-competitive serialization.
+//
+// Two workloads: a packet-routing line (everyone should be stable) and
+// a SINR pairs network (only interference-aware protocols survive).
+func E14Baselines(scale Scale, seed int64) (*Table, error) {
+	slots := int64(60000)
+	if scale == Quick {
+		slots = 16000
+	}
+
+	tbl := &Table{
+		ID:    "E14",
+		Title: "Dynamic protocol vs baselines on identical arrival traces",
+		Claim: "§1.2/related work: the transformation approximates the centralized max-weight " +
+			"optimum distributedly; interference-blind policies fail off the identity model",
+		Columns: []string{"workload", "protocol", "delivered/injected", "mean queue", "mean latency", "verdict"},
+	}
+
+	type contender struct {
+		name  string
+		build func() sim.Protocol
+	}
+
+	run := func(workload string, model interference.Model, trace *inject.Trace, cs []contender) error {
+		for _, c := range cs {
+			res, err := sim.Run(sim.Config{Slots: slots, Seed: seed}, model, trace.Replay(), c.build())
+			if err != nil {
+				return err
+			}
+			frac := 0.0
+			if res.Injected > 0 {
+				frac = float64(res.Delivered) / float64(res.Injected)
+			}
+			tbl.AddRow(workload, c.name, fmtF(frac),
+				fmtF1(res.Queue.MeanV()), fmtF1(res.Latency.Mean()), fmtB(res.Verdict.Stable))
+		}
+		return nil
+	}
+
+	// Workload 1: identity-model line, 4-hop flows at λ = 0.4.
+	{
+		const hops = 4
+		g := netgraph.LineNetwork(hops+1, 1)
+		model := interference.Identity{Links: g.NumLinks()}
+		path, ok := netgraph.ShortestPath(g, 0, hops)
+		if !ok {
+			return nil, errNoPath
+		}
+		proc, err := multiHopGenerators(model, []netgraph.Path{path}, 0.4)
+		if err != nil {
+			return nil, err
+		}
+		trace := inject.Record(proc, slots, rand.New(rand.NewSource(seed)))
+		dyn := func() sim.Protocol {
+			p, err := core.New(core.Config{
+				Model: model, Alg: static.FullParallel{}, M: g.NumLinks(),
+				Lambda: 0.4, Eps: 0.25, Seed: seed,
+			})
+			if err != nil {
+				panic(err) // provisioning verified by tests; cannot fail here
+			}
+			return p
+		}
+		cs := []contender{
+			{"dynamic (paper)", dyn},
+			{"max-weight", func() sim.Protocol { return baseline.NewMaxWeight(model) }},
+			{"fifo-greedy", func() sim.Protocol { return baseline.NewFIFOGreedy(g.NumLinks()) }},
+			{"shortest-in-system", func() sim.Protocol { return baseline.NewSIS(g.NumLinks()) }},
+			{"mac-fallback", func() sim.Protocol { return baseline.NewMACFallback(g.NumLinks()) }},
+		}
+		if err := run("line/identity λ=0.4", model, trace, cs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Workload 2: SINR pairs with linear powers at a safe measure rate.
+	{
+		rng := rand.New(rand.NewSource(seed + 1))
+		_, model, err := sinrPairs(rng, 16, sinr.PowerLinear, sinr.WeightAffectance)
+		if err != nil {
+			return nil, err
+		}
+		const lambda = 0.06
+		proc, err := singleHopGenerators(model, lambda)
+		if err != nil {
+			return nil, err
+		}
+		trace := inject.Record(proc, slots, rand.New(rand.NewSource(seed+2)))
+		dyn := func() sim.Protocol {
+			p, err := core.New(core.Config{
+				Model: model, Alg: static.Spread{}, M: 16,
+				Lambda: lambda, Eps: 0.25, Seed: seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return p
+		}
+		cs := []contender{
+			{"dynamic (paper)", dyn},
+			{"max-weight", func() sim.Protocol { return baseline.NewMaxWeight(model) }},
+			{"fifo-greedy", func() sim.Protocol { return baseline.NewFIFOGreedy(model.NumLinks()) }},
+			{"mac-fallback", func() sim.Protocol { return baseline.NewMACFallback(model.NumLinks()) }},
+		}
+		if err := run("pairs/SINR λ=0.06", model, trace, cs); err != nil {
+			return nil, err
+		}
+	}
+	tbl.AddNote("all protocols in a workload replay the same recorded arrivals — differences " +
+		"are purely scheduling, not arrival noise")
+	tbl.AddNote("fifo-greedy fires every backlogged link each slot: optimal for the identity " +
+		"model, self-jamming under SINR where simultaneous neighbours collide persistently")
+	return tbl, nil
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"dynsched/internal/core"
+	"dynsched/internal/inject"
+	"dynsched/internal/interference"
+	"dynsched/internal/netgraph"
+	"dynsched/internal/sim"
+	"dynsched/internal/sinr"
+	"dynsched/internal/static"
+)
+
+// E6UniformPower reproduces Corollary 13's contrast with Corollary 12:
+// with monotone sub-linear assignments (uniform and square-root powers)
+// the guaranteed competitive ratio degrades to O(log²m), whereas linear
+// powers are constant-competitive. The table reports the max stable
+// rate per family and size; the paper predicts
+// λ*(linear) ≥ λ*(sqrt) ≥ λ*(uniform), with the uniform/sqrt columns
+// allowed to decay like 1/log²m but no faster.
+func E6UniformPower(scale Scale, seed int64) (*Table, error) {
+	sizes := []int{8, 16, 32, 64}
+	slots := int64(30000)
+	if scale == Quick {
+		sizes = []int{8, 16}
+		slots = 10000
+	}
+	rates := []float64{0.01, 0.02, 0.03, 0.05, 0.07, 0.09, 0.12, 0.16, 0.20}
+
+	type family struct {
+		name string
+		kind sinr.PowerKind
+		wk   sinr.WeightKind
+	}
+	families := []family{
+		{"uniform", sinr.PowerUniform, sinr.WeightMonotone},
+		{"sqrt", sinr.PowerSquareRoot, sinr.WeightMonotone},
+		{"linear", sinr.PowerLinear, sinr.WeightAffectance},
+	}
+
+	tbl := &Table{
+		ID:    "E6",
+		Title: "Max stable injection rate vs network size, by power family",
+		Claim: "Cor 13 (vs Cor 12): monotone sub-linear powers are O(log²m)-competitive — " +
+			"λ*(uniform)·log²m stays bounded away from 0, and linear powers dominate in " +
+			"physical packets/slot",
+		Columns: []string{
+			"m (links)",
+			"λ* uniform", "pkts/slot", "λ* sqrt", "pkts/slot", "λ* linear", "pkts/slot",
+			"uniform·log²m",
+		},
+	}
+
+	// packetRate converts a measure-unit rate into the physical
+	// packets/slot the single-hop workload injects at that rate.
+	packetRate := func(model interference.Model, lambda float64) float64 {
+		if lambda <= 0 {
+			return 0
+		}
+		proc, err := singleHopGenerators(model, lambda)
+		if err != nil {
+			return 0
+		}
+		return proc.(*inject.Stochastic).PacketRate()
+	}
+
+	for _, m := range sizes {
+		row := []string{fmtI(m)}
+		var uniformBest float64
+		for _, fam := range families {
+			rng := rand.New(rand.NewSource(seed + int64(m)))
+			_, model, err := sinrPairs(rng, m, fam.kind, fam.wk)
+			if err != nil {
+				return nil, err
+			}
+			alg := static.Spread{}
+			best, err := maxStableRate(rates, slots, seed, model,
+				func(lambda float64) (sim.Protocol, inject.Process, error) {
+					proto, err := core.New(core.Config{
+						Model: model, Alg: alg, M: m, Lambda: lambda, Eps: 0.25, Seed: seed,
+					})
+					if err != nil {
+						return nil, nil, err
+					}
+					proc, err := singleHopGenerators(model, lambda)
+					if err != nil {
+						return nil, nil, err
+					}
+					return proto, proc, nil
+				})
+			if err != nil {
+				return nil, err
+			}
+			if fam.name == "uniform" {
+				uniformBest = best
+			}
+			row = append(row, fmtF(best), fmtF(packetRate(model, best)))
+		}
+		log2m := math.Log2(float64(m))
+		row = append(row, fmtF(uniformBest*log2m*log2m))
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	tbl.AddNote("λ* is flat across families by design — it is denominated in each model's own " +
+		"measure units, and the protocol always achieves Θ(1/f(m)) of them; the physical " +
+		"pkts/slot column is where the W matrices differ: a tighter matrix (linear/affectance) " +
+		"prices each packet lower, admitting more physical traffic per measure unit")
+	tbl.AddNote("random sender–receiver pairs at constant density; at this scale uniform powers " +
+		"often match their O(log²m) guarantee with room to spare — the guarantee is an upper bound " +
+		"on the degradation, and the ordering linear ≥ sqrt ≥ uniform is the paper-predicted shape")
+
+	// Second workload: the nested chain, where link lengths span a
+	// geometric range. This is the hard case for uniform powers — the
+	// monotone measure concentrates on the long links — while linear
+	// powers are indifferent to length diversity.
+	for _, m := range sizes {
+		if m > 32 {
+			continue // link lengths overflow float precision headroom past 2^32
+		}
+		g := netgraph.NestedChain(m, 2)
+		row := []string{fmtI(m) + " nested"}
+		var uniformBest float64
+		for _, fam := range families {
+			prm := sinr.DefaultParams()
+			powers, err := sinr.Powers(g, prm, fam.kind, 1)
+			if err != nil {
+				return nil, err
+			}
+			prm.Noise = sinr.MaxNoise(g, prm, powers, 0.5)
+			model, err := sinr.NewFixedPower(g, prm, powers, fam.wk)
+			if err != nil {
+				return nil, err
+			}
+			alg := static.Spread{}
+			best, err := maxStableRate(rates, slots, seed, model,
+				func(lambda float64) (sim.Protocol, inject.Process, error) {
+					proto, err := core.New(core.Config{
+						Model: model, Alg: alg, M: m, Lambda: lambda, Eps: 0.25, Seed: seed,
+					})
+					if err != nil {
+						return nil, nil, err
+					}
+					proc, err := singleHopGenerators(model, lambda)
+					if err != nil {
+						return nil, nil, err
+					}
+					return proto, proc, nil
+				})
+			if err != nil {
+				return nil, err
+			}
+			if fam.name == "uniform" {
+				uniformBest = best
+			}
+			row = append(row, fmtF(best), fmtF(packetRate(model, best)))
+		}
+		log2m := math.Log2(float64(m))
+		row = append(row, fmtF(uniformBest*log2m*log2m))
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	tbl.AddNote("'nested' rows use the exponential-length chain, where every pair of links is " +
+		"Θ(1)-coupled regardless of power family (the affectance matrix approaches all-ones) — " +
+		"the stable rate in measure units then reflects MAC-like serialization for everyone")
+	return tbl, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"math"
+
+	"dynsched/internal/lowerbound"
+	"dynsched/internal/sim"
+)
+
+// E9LowerBound reproduces Theorem 20 / Figure 1: on the instance with
+// m−1 interference-free short links and one long link needing global
+// silence, a global clock makes even/odd TDM stable at per-link rate
+// 0.45, while the natural local-clock acknowledgement-based protocol
+// starves the long link already at λ = ln m / m — a Θ(m/ln m) gap.
+func E9LowerBound(scale Scale, seed int64) (*Table, error) {
+	sizes := []int{16, 64, 256}
+	slots := int64(60000)
+	if scale == Quick {
+		sizes = []int{16, 64}
+		slots = 15000
+	}
+
+	tbl := &Table{
+		ID:    "E9",
+		Title: "Figure 1 instance: global clock vs local clocks",
+		Claim: "Thm 20: no local-clock ack-based protocol is m/(2 ln m)-competitive; " +
+			"global TDM is stable at λ=0.45 while local-greedy starves the long link at λ=ln m/m",
+		Columns: []string{
+			"m", "λ = ln m/m",
+			"TDM@0.45", "TDM long-queue",
+			"local@λ", "local long-queue", "local long-served", "local fairness",
+		},
+	}
+
+	for _, m := range sizes {
+		model := lowerbound.Model{M: m}
+		_, paths := lowerbound.Network(m)
+		lam := math.Log(float64(m)) / float64(m)
+
+		// Global TDM at the high rate 0.45 per link.
+		tdmProc, err := lowerbound.PerLinkBernoulli(model, paths, 0.45)
+		if err != nil {
+			return nil, err
+		}
+		tdm := lowerbound.NewGlobalTDM(model)
+		tdmRes, err := sim.Run(sim.Config{Slots: slots, Seed: seed + int64(m)}, model, tdmProc, tdm)
+		if err != nil {
+			return nil, err
+		}
+
+		// Local greedy at the much lower rate ln m / m.
+		locProc, err := lowerbound.PerLinkBernoulli(model, paths, lam)
+		if err != nil {
+			return nil, err
+		}
+		loc := lowerbound.NewLocalGreedy(model)
+		locRes, err := sim.Run(sim.Config{Slots: slots, Seed: seed + int64(m)}, model, locProc, loc)
+		if err != nil {
+			return nil, err
+		}
+
+		longQ := tdm.QueueLen() // total; for TDM the long queue is what remains
+		tbl.AddRow(
+			fmtI(m), fmtF(lam),
+			fmtB(tdmRes.Verdict.Stable), fmtI(longQ),
+			fmtB(locRes.Verdict.Stable), fmtI(loc.LongQueueLen()), fmtI(int(loc.LongSuccesses)),
+			fmtF(locRes.FairnessIndex()),
+		)
+	}
+	tbl.AddNote("the local protocol is fine on short links but the long link's queue grows ≈ λ·slots; " +
+		"with a global clock the same rate (and far higher) is trivially stable")
+	tbl.AddNote("'local fairness' is Jain's index over per-link service — the starved long link " +
+		"drags it below 1 even while m−1 short links hum along")
+	return tbl, nil
+}

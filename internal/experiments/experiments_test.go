@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runQuick executes a runner at Quick scale with a fixed seed.
+func runQuick(t *testing.T, id string) *Table {
+	t.Helper()
+	r, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tbl, err := r.Run(Quick, 7)
+	if err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("%s row %d has %d cells for %d columns", id, i, len(row), len(tbl.Columns))
+		}
+	}
+	return tbl
+}
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestAllRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("registered %d experiments, want 14", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if seen[r.ID] {
+			t.Fatalf("duplicate ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil {
+			t.Fatalf("%s has no runner", r.ID)
+		}
+	}
+	if _, ok := ByID("e3"); !ok {
+		t.Error("ByID not case-insensitive")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID invented an experiment")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		ID: "T", Title: "demo", Claim: "c",
+		Columns: []string{"a", "bb"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddNote("n=%d", 3)
+	text := tbl.Format()
+	for _, want := range []string{"T — demo", "claim: c", "a", "bb", "note: n=3"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+	md := tbl.Markdown()
+	for _, want := range []string{"### T — demo", "| a | bb |", "| 1 | 2 |", "*Note:* n=3"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestE1ShapeDensificationFlattens(t *testing.T) {
+	tbl := runQuick(t, "E1")
+	last := len(tbl.Rows) - 1
+	rawSmall, rawLarge := cell(t, tbl, 0, 4), cell(t, tbl, last, 4)
+	densSmall, densLarge := cell(t, tbl, 0, 6), cell(t, tbl, last, 6)
+	// Densified unit cost must grow strictly slower than raw unit cost.
+	rawGrowth := rawLarge / rawSmall
+	densGrowth := densLarge / densSmall
+	if densGrowth > rawGrowth {
+		t.Errorf("densification did not flatten scaling: raw ×%.2f, densified ×%.2f\n%s",
+			rawGrowth, densGrowth, tbl.Format())
+	}
+}
+
+func TestE2ShapeStableBelowCapacityUnstableAbove(t *testing.T) {
+	tbl := runQuick(t, "E2")
+	last := len(tbl.Rows) - 1
+	// All rows except the overload row must be stable.
+	for i := 0; i < last; i++ {
+		if tbl.Rows[i][5] != "stable" {
+			t.Errorf("row %d (load %s) unstable:\n%s", i, tbl.Rows[i][0], tbl.Format())
+		}
+	}
+	if tbl.Rows[last][5] != "UNSTABLE" {
+		t.Errorf("overload row judged stable:\n%s", tbl.Format())
+	}
+}
+
+func TestE3ShapeLatencyLinearInHops(t *testing.T) {
+	tbl := runQuick(t, "E3")
+	// latency/(d·T) must stay within a small constant band.
+	for i := range tbl.Rows {
+		norm := cell(t, tbl, i, 4)
+		if norm < 0.3 || norm > 6 {
+			t.Errorf("row %d: latency/(d·T) = %v outside [0.3, 6]:\n%s", i, norm, tbl.Format())
+		}
+	}
+}
+
+func TestE4ShapeAllTimingsStable(t *testing.T) {
+	tbl := runQuick(t, "E4")
+	for i, row := range tbl.Rows {
+		if row[1] == "on" && row[5] != "stable" {
+			t.Errorf("delayed variant %s unstable (row %d):\n%s", row[0], i, tbl.Format())
+		}
+	}
+}
+
+func TestE5ShapeConstantCompetitive(t *testing.T) {
+	tbl := runQuick(t, "E5")
+	for i := range tbl.Rows {
+		if rate := cell(t, tbl, i, 1); rate <= 0 {
+			t.Errorf("m=%s: no stable rate found:\n%s", tbl.Rows[i][0], tbl.Format())
+		}
+	}
+	// The stable rate must not collapse with size: allow a 4× dip.
+	first, lastV := cell(t, tbl, 0, 1), cell(t, tbl, len(tbl.Rows)-1, 1)
+	if lastV < first/4 {
+		t.Errorf("stable rate collapsed from %v to %v:\n%s", first, lastV, tbl.Format())
+	}
+}
+
+func TestE6ShapeLogSquaredCompetitive(t *testing.T) {
+	tbl := runQuick(t, "E6")
+	// Columns: 0 m, 1 λ*uniform, 2 pkts, 3 λ*sqrt, 4 pkts, 5 λ*linear,
+	// 6 pkts, 7 uniform·log²m.
+	for i := range tbl.Rows {
+		if norm := cell(t, tbl, i, 7); norm <= 0 {
+			t.Errorf("m=%s: λ·log²m = %v:\n%s", tbl.Rows[i][0], norm, tbl.Format())
+		}
+	}
+}
+
+func TestE7ShapeAsymmetricBeatsSymmetric(t *testing.T) {
+	tbl := runQuick(t, "E7")
+	// Columns: 0 = λ, 1 = symmetric, 2 = asymmetric.
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "0.050", "0.100":
+			// Low rates must work for both protocols.
+			if row[1] != "stable" || row[2] != "stable" {
+				t.Errorf("λ=%s not stable for both (%s / %s):\n%s", row[0], row[1], row[2], tbl.Format())
+			}
+		case "0.450", "0.700":
+			// The gap: symmetric is past its 1/e-ish ceiling, RRW still fine.
+			if row[1] == "stable" {
+				t.Errorf("symmetric protocol stable at λ=%s — beyond its ceiling:\n%s", row[0], tbl.Format())
+			}
+			if row[2] != "stable" {
+				t.Errorf("RRW not stable at λ=%s (%s):\n%s", row[0], row[2], tbl.Format())
+			}
+		case "1.200":
+			if row[2] == "stable" {
+				t.Errorf("overload row stable:\n%s", tbl.Format())
+			}
+		}
+	}
+}
+
+func TestE8ShapeNormalizedConstant(t *testing.T) {
+	tbl := runQuick(t, "E8")
+	var lo, hi float64
+	for i := range tbl.Rows {
+		norm := cell(t, tbl, i, 4)
+		if i == 0 || norm < lo {
+			lo = norm
+		}
+		if i == 0 || norm > hi {
+			hi = norm
+		}
+	}
+	if lo <= 0 {
+		t.Fatalf("normalized cost ≤ 0:\n%s", tbl.Format())
+	}
+	if hi/lo > 8 {
+		t.Errorf("slots/(I·ln n) varies ×%.1f — not O(I·log n):\n%s", hi/lo, tbl.Format())
+	}
+}
+
+func TestE9ShapeSeparation(t *testing.T) {
+	tbl := runQuick(t, "E9")
+	for i, row := range tbl.Rows {
+		if row[2] != "stable" {
+			t.Errorf("row %d: global TDM unstable:\n%s", i, tbl.Format())
+		}
+		longQ := cell(t, tbl, i, 5)
+		if longQ < 50 {
+			t.Errorf("row %d: local long-queue %v too small — starvation not visible:\n%s",
+				i, longQ, tbl.Format())
+		}
+	}
+}
+
+func TestE10ShapeCleanupMatters(t *testing.T) {
+	tbl := runQuick(t, "E10")
+	byName := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byName[row[0]] = row
+	}
+	paper, ok1 := byName["paper (prob 1/m)"]
+	none, ok2 := byName["no clean-up"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing variants:\n%s", tbl.Format())
+	}
+	if paper[2] == "0" {
+		t.Errorf("paper variant cleaned up nothing:\n%s", tbl.Format())
+	}
+	if none[2] != "0" {
+		t.Errorf("no-clean-up variant served clean-up packets:\n%s", tbl.Format())
+	}
+	// Stranded buffer must exceed the paper variant's.
+	paperBuf, _ := strconv.Atoi(paper[3])
+	noneBuf, _ := strconv.Atoi(none[3])
+	if noneBuf <= paperBuf {
+		t.Errorf("no-clean-up buffer %d not larger than paper's %d:\n%s",
+			noneBuf, paperBuf, tbl.Format())
+	}
+}
+
+func TestE11ShapePowerControlStable(t *testing.T) {
+	tbl := runQuick(t, "E11")
+	for i := range tbl.Rows {
+		if rate := cell(t, tbl, i, 1); rate <= 0 {
+			t.Errorf("m=%s: no stable power-control rate found:\n%s", tbl.Rows[i][0], tbl.Format())
+		}
+	}
+}
+
+func TestE6ShapePowerFamilyOrdering(t *testing.T) {
+	tbl := runQuick(t, "E6")
+	for i := range tbl.Rows {
+		uniform := cell(t, tbl, i, 1)
+		linear := cell(t, tbl, i, 5)
+		if uniform <= 0 || linear <= 0 {
+			t.Errorf("m=%s: degenerate rates (uniform %v, linear %v):\n%s",
+				tbl.Rows[i][0], uniform, linear, tbl.Format())
+		}
+		// On the constant-density random instances the linear family
+		// must not lose to uniform by more than one probe step. The
+		// nested-chain rows are excluded: there every pair of links is
+		// Θ(1)-coupled under *any* power family (the geometry is
+		// adversarial for everyone), so no ordering is implied.
+		if !strings.Contains(tbl.Rows[i][0], "nested") && linear < uniform*0.7 {
+			t.Errorf("m=%s: linear %v below uniform %v:\n%s",
+				tbl.Rows[i][0], linear, uniform, tbl.Format())
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b"}}
+	tbl.AddRow("1", `x,"y"`)
+	got := tbl.CSV()
+	want := "a,b\n1,\"x,\"\"y\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestE12ShapeRadioStable(t *testing.T) {
+	tbl := runQuick(t, "E12")
+	for i := range tbl.Rows {
+		if rho := cell(t, tbl, i, 2); rho < 1 || rho > 8 {
+			t.Errorf("grid %s: ρ = %v outside plausible range:\n%s", tbl.Rows[i][0], rho, tbl.Format())
+		}
+		if rate := cell(t, tbl, i, 4); rate <= 0 {
+			t.Errorf("grid %s: no stable rate:\n%s", tbl.Rows[i][0], tbl.Format())
+		}
+	}
+}
+
+func TestE5ShapeRatioColumn(t *testing.T) {
+	tbl := runQuick(t, "E5")
+	for i := range tbl.Rows {
+		if opt := cell(t, tbl, i, 2); opt <= 0 {
+			t.Errorf("m=%s: OPT = %v:\n%s", tbl.Rows[i][0], opt, tbl.Format())
+		}
+		if ratio := cell(t, tbl, i, 3); ratio <= 0 || ratio > 1.5 {
+			t.Errorf("m=%s: ratio %v implausible:\n%s", tbl.Rows[i][0], ratio, tbl.Format())
+		}
+	}
+}
+
+func TestE13ShapeMetrics(t *testing.T) {
+	tbl := runQuick(t, "E13")
+	// Columns: 0 m, 1 euclid dd, 2 euclid λ*, 3 euclid cap, 4 star dd,
+	// 5 star λ*, 6 star cap.
+	for i := range tbl.Rows {
+		euclid := cell(t, tbl, i, 2)
+		star := cell(t, tbl, i, 5)
+		if euclid <= 0 {
+			t.Errorf("m=%s: no stable Euclidean rate:\n%s", tbl.Rows[i][0], tbl.Format())
+		}
+		if star <= 0 {
+			t.Errorf("m=%s: no stable star-metric rate:\n%s", tbl.Rows[i][0], tbl.Format())
+		}
+		// Cor 14 allows the general metric at most a log-factor penalty;
+		// it must not collapse to a tiny fraction.
+		if star < euclid/8 {
+			t.Errorf("m=%s: star rate %v collapsed vs euclid %v:\n%s",
+				tbl.Rows[i][0], star, euclid, tbl.Format())
+		}
+	}
+}
+
+func TestE14ShapeBaselines(t *testing.T) {
+	tbl := runQuick(t, "E14")
+	find := func(workloadPrefix, proto string) []string {
+		for _, row := range tbl.Rows {
+			if strings.HasPrefix(row[0], workloadPrefix) && row[1] == proto {
+				return row
+			}
+		}
+		t.Fatalf("row %s/%s missing:\n%s", workloadPrefix, proto, tbl.Format())
+		return nil
+	}
+	// On the identity line everyone sensible is stable; the serializing
+	// fallback is not (aggregate rate 0.4·4 hops ≈ 1.6 > 1).
+	for _, proto := range []string{"dynamic (paper)", "max-weight", "fifo-greedy", "shortest-in-system"} {
+		if row := find("line", proto); row[5] != "stable" {
+			t.Errorf("identity line: %s unstable:\n%s", proto, tbl.Format())
+		}
+	}
+	if row := find("line", "mac-fallback"); row[5] != "UNSTABLE" {
+		t.Errorf("mac-fallback should drown on the line workload:\n%s", tbl.Format())
+	}
+	// Under SINR the interference-aware protocols survive; fifo-greedy
+	// self-jams.
+	if row := find("pairs", "dynamic (paper)"); row[5] != "stable" {
+		t.Errorf("dynamic protocol unstable on SINR:\n%s", tbl.Format())
+	}
+	if row := find("pairs", "max-weight"); row[5] != "stable" {
+		t.Errorf("max-weight unstable on SINR:\n%s", tbl.Format())
+	}
+}

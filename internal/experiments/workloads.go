@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"dynsched/internal/inject"
+	"dynsched/internal/interference"
+	"dynsched/internal/netgraph"
+	"dynsched/internal/sim"
+	"dynsched/internal/sinr"
+	"dynsched/internal/static"
+)
+
+// errNoPath flags a workload whose routing failed; it indicates a bug
+// in the topology builder, not a runtime condition.
+var errNoPath = errors.New("experiments: required path does not exist")
+
+// sinrPairs builds an n-link random sender→receiver instance with the
+// given power family and weight matrix, scattering pairs in a square
+// sized to keep density comparable across n (area ∝ n).
+func sinrPairs(rng *rand.Rand, n int, kind sinr.PowerKind, wk sinr.WeightKind) (*netgraph.Graph, *sinr.FixedPower, error) {
+	side := 10 * math.Sqrt(float64(n))
+	g := netgraph.RandomPairs(rng, n, side, 1, 4)
+	prm := sinr.DefaultParams()
+	powers, err := sinr.Powers(g, prm, kind, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Pick a noise level that leaves isolated links a 2× margin.
+	prm.Noise = sinr.MaxNoise(g, prm, powers, 0.5)
+	model, err := sinr.NewFixedPower(g, prm, powers, wk)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, model, nil
+}
+
+// singleHopLoad builds k requests on every link of the model's network.
+func singleHopLoad(numLinks, perLink int) []static.Request {
+	reqs := make([]static.Request, 0, numLinks*perLink)
+	tag := int64(0)
+	for i := 0; i < perLink; i++ {
+		for e := 0; e < numLinks; e++ {
+			reqs = append(reqs, static.Request{Link: e, Tag: tag})
+			tag++
+		}
+	}
+	return reqs
+}
+
+// singleHopGenerators creates one generator per link injecting on the
+// link's single-hop path; probabilities are scaled to hit rate lambda
+// in the model's measure units.
+func singleHopGenerators(m interference.Model, lambda float64) (inject.Process, error) {
+	gens := make([]inject.Generator, m.NumLinks())
+	for e := range gens {
+		gens[e] = inject.Generator{Choices: []inject.PathChoice{
+			{Path: netgraph.Path{netgraph.LinkID(e)}, P: 0.5},
+		}}
+	}
+	return inject.StochasticAtRate(m, gens, lambda)
+}
+
+// multiHopGenerators injects along the given paths, scaled to rate
+// lambda; each path gets ceil(lambda)+1 generators so super-critical
+// rates remain expressible.
+func multiHopGenerators(m interference.Model, paths []netgraph.Path, lambda float64) (inject.Process, error) {
+	perPath := int(lambda) + 2
+	var gens []inject.Generator
+	for _, p := range paths {
+		for i := 0; i < perPath; i++ {
+			gens = append(gens, inject.Generator{Choices: []inject.PathChoice{
+				{Path: p, P: 1.0 / float64(perPath+1)},
+			}})
+		}
+	}
+	return inject.StochasticAtRate(m, gens, lambda)
+}
+
+// maxStableRate probes the given protocol family for the largest
+// injection rate (in measure units) that stays stable: for each rate in
+// rates (ascending) it provisions a protocol via build and simulates;
+// it returns the largest stable rate, or 0 if none is.
+func maxStableRate(
+	rates []float64,
+	slots int64,
+	seed int64,
+	model interference.Model,
+	build func(lambda float64) (sim.Protocol, inject.Process, error),
+) (float64, error) {
+	best := 0.0
+	for _, rate := range rates {
+		proto, proc, err := build(rate)
+		if err != nil {
+			// Frame divergence: the algorithm cannot sustain this rate.
+			break
+		}
+		res, err := sim.Run(sim.Config{Slots: slots, Seed: seed}, model, proc, proto)
+		if err != nil {
+			return 0, err
+		}
+		if !res.Verdict.Stable {
+			break
+		}
+		best = rate
+	}
+	return best, nil
+}

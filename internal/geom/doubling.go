@@ -1,0 +1,81 @@
+package geom
+
+import "math"
+
+// DoublingDimension estimates the doubling dimension of a finite metric
+// given by its distance matrix: the smallest k such that every ball of
+// radius r can be covered by 2^k balls of radius r/2. Corollary 14's
+// "fading metrics" are those whose path-loss exponent α exceeds this
+// dimension; the Euclidean plane has doubling dimension 2, star metrics
+// grow with the point count.
+//
+// The estimator checks every (center, radius) pair induced by the
+// distance set and covers greedily, so it returns an upper bound on the
+// true dimension that is exact up to the greedy covering's slack.
+func DoublingDimension(dist [][]float64) float64 {
+	n := len(dist)
+	if n <= 1 {
+		return 0
+	}
+	worst := 1
+	for c := 0; c < n; c++ {
+		for p := 0; p < n; p++ {
+			r := dist[c][p]
+			if r == 0 {
+				continue
+			}
+			// Points inside ball B(c, r).
+			var ball []int
+			for q := 0; q < n; q++ {
+				if dist[c][q] <= r {
+					ball = append(ball, q)
+				}
+			}
+			// Greedy cover with balls of radius r/2 centered at points.
+			covered := make(map[int]bool, len(ball))
+			count := 0
+			for len(covered) < len(ball) {
+				// Pick the uncovered point covering the most uncovered
+				// peers.
+				best, bestGain := -1, -1
+				for _, u := range ball {
+					if covered[u] {
+						continue
+					}
+					gain := 0
+					for _, v := range ball {
+						if !covered[v] && dist[u][v] <= r/2 {
+							gain++
+						}
+					}
+					if gain > bestGain {
+						best, bestGain = u, gain
+					}
+				}
+				for _, v := range ball {
+					if dist[best][v] <= r/2 {
+						covered[v] = true
+					}
+				}
+				count++
+			}
+			if count > worst {
+				worst = count
+			}
+		}
+	}
+	return math.Log2(float64(worst))
+}
+
+// DistanceMatrix builds the pairwise Euclidean distance matrix of pts.
+func DistanceMatrix(pts []Point) [][]float64 {
+	n := len(pts)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = pts[i].Dist(pts[j])
+		}
+	}
+	return out
+}

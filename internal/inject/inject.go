@@ -1,0 +1,184 @@
+// Package inject implements the paper's two packet-injection models
+// (Section 2.1): time-invariant finite-user stochastic injection, and
+// the (w, λ)-bounded window adversary. Both bound the average
+// interference measure of injected requests per slot by the injection
+// rate λ: with F the expected per-slot request vector, every component
+// of W·F is at most λ (stochastic), and over any w consecutive slots the
+// injected request vector R satisfies ‖W·R‖∞ ≤ w·λ (adversarial).
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynsched/internal/interference"
+	"dynsched/internal/netgraph"
+)
+
+// Packet is an injected communication request with a fixed path.
+type Packet struct {
+	ID       int64
+	Path     netgraph.Path
+	Injected int64 // slot of injection
+}
+
+// Process produces the packets arriving in each slot.
+type Process interface {
+	// Name identifies the process in experiment output.
+	Name() string
+	// Step returns the packets injected at slot t. Implementations
+	// assign fresh packet IDs and stamp Injected = t.
+	Step(t int64, rng *rand.Rand) []Packet
+	// Rate returns the nominal injection rate λ.
+	Rate() float64
+}
+
+// PathRequests converts a path into its per-link request multiset,
+// counting multiplicity for paths that reuse a link.
+func PathRequests(numLinks int, p netgraph.Path) []int {
+	r := make([]int, numLinks)
+	for _, e := range p {
+		r[e]++
+	}
+	return r
+}
+
+// PathChoice is one option of a stochastic generator: with probability
+// P, inject a packet routed along Path.
+type PathChoice struct {
+	Path netgraph.Path
+	P    float64
+}
+
+// Generator is one of the finite users of the stochastic model: per
+// slot it injects at most one packet, choosing among its paths with
+// fixed probabilities (identically distributed across slots, independent
+// of everything else).
+type Generator struct {
+	Choices []PathChoice
+}
+
+// Validate checks that the generator's probabilities form a sub-distribution.
+func (g Generator) Validate() error {
+	sum := 0.0
+	for i, c := range g.Choices {
+		if c.P < 0 {
+			return fmt.Errorf("inject: generator choice %d has negative probability %v", i, c.P)
+		}
+		if len(c.Path) == 0 {
+			return fmt.Errorf("inject: generator choice %d has empty path", i)
+		}
+		sum += c.P
+	}
+	if sum > 1+1e-12 {
+		return fmt.Errorf("inject: generator probabilities sum to %v > 1", sum)
+	}
+	return nil
+}
+
+// Stochastic is the finite-user stochastic injection process.
+type Stochastic struct {
+	gens   []Generator
+	rate   float64
+	nextID int64
+}
+
+// NewStochastic builds the process and computes its exact injection
+// rate λ = ‖W·F‖∞ against the given model.
+func NewStochastic(m interference.Model, gens []Generator) (*Stochastic, error) {
+	for i, g := range gens {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("generator %d: %w", i, err)
+		}
+	}
+	f := make([]float64, m.NumLinks())
+	for _, g := range gens {
+		for _, c := range g.Choices {
+			for _, e := range c.Path {
+				if int(e) >= len(f) || e < 0 {
+					return nil, fmt.Errorf("inject: path link %d out of range [0,%d)", e, len(f))
+				}
+				f[e] += c.P
+			}
+		}
+	}
+	return &Stochastic{gens: gens, rate: interference.MeasureVec(m, f)}, nil
+}
+
+// Name implements Process.
+func (s *Stochastic) Name() string { return "stochastic" }
+
+// Rate implements Process.
+func (s *Stochastic) Rate() float64 { return s.rate }
+
+// PacketRate returns the expected number of packets injected per slot —
+// the physical-units counterpart of Rate, which is in interference-
+// measure units. The ratio PacketRate/Rate is the average number of
+// packets one unit of measure budget buys under the model's W.
+func (s *Stochastic) PacketRate() float64 {
+	total := 0.0
+	for _, g := range s.gens {
+		for _, c := range g.Choices {
+			total += c.P
+		}
+	}
+	return total
+}
+
+// Step implements Process.
+func (s *Stochastic) Step(t int64, rng *rand.Rand) []Packet {
+	var out []Packet
+	for _, g := range s.gens {
+		u := rng.Float64()
+		for _, c := range g.Choices {
+			if u < c.P {
+				s.nextID++
+				out = append(out, Packet{ID: s.nextID, Path: c.Path, Injected: t})
+				break
+			}
+			u -= c.P
+		}
+	}
+	return out
+}
+
+// ScaleGenerators multiplies every choice probability by factor,
+// returning new generators. It returns an error if any scaled
+// generator's probabilities would exceed 1.
+func ScaleGenerators(gens []Generator, factor float64) ([]Generator, error) {
+	if factor < 0 {
+		return nil, fmt.Errorf("inject: negative scale factor %v", factor)
+	}
+	out := make([]Generator, len(gens))
+	for i, g := range gens {
+		out[i].Choices = make([]PathChoice, len(g.Choices))
+		sum := 0.0
+		for j, c := range g.Choices {
+			out[i].Choices[j] = PathChoice{Path: c.Path, P: c.P * factor}
+			sum += c.P * factor
+		}
+		if sum > 1+1e-12 {
+			return nil, fmt.Errorf("inject: generator %d scales to total probability %v > 1", i, sum)
+		}
+	}
+	return out, nil
+}
+
+// StochasticAtRate scales the generators so the process's injection
+// rate is exactly lambda, and returns the resulting process. It fails
+// if the unscaled rate is zero or if scaling would push a generator's
+// total probability above 1 (add more generators in that case).
+func StochasticAtRate(m interference.Model, gens []Generator, lambda float64) (*Stochastic, error) {
+	base, err := NewStochastic(m, gens)
+	if err != nil {
+		return nil, err
+	}
+	if base.rate <= 0 {
+		return nil, fmt.Errorf("inject: base generators have zero injection rate")
+	}
+	scaled, err := ScaleGenerators(gens, lambda/base.rate)
+	if err != nil {
+		return nil, err
+	}
+	return NewStochastic(m, scaled)
+}

@@ -1,0 +1,182 @@
+package interference
+
+import "fmt"
+
+// countDup returns, for each entry of tx, whether its link appears more
+// than once in tx. Links carry at most one packet per slot, so duplicate
+// attempts on a link always fail.
+func countDup(numLinks int, tx []int) (counts []int) {
+	counts = make([]int, numLinks)
+	for _, e := range tx {
+		counts[e]++
+	}
+	return counts
+}
+
+// Identity is the packet-routing model: W is the identity matrix, so the
+// interference measure equals the congestion, and a transmission succeeds
+// whenever its link carries a single packet this slot (links do not
+// interfere with each other at all).
+type Identity struct {
+	Links int
+}
+
+var _ Model = Identity{}
+
+// Name implements Model.
+func (Identity) Name() string { return "identity" }
+
+// NumLinks implements Model.
+func (m Identity) NumLinks() int { return m.Links }
+
+// Weight implements Model.
+func (m Identity) Weight(e, e2 int) float64 {
+	if e == e2 {
+		return 1
+	}
+	return 0
+}
+
+// Successes implements Model.
+func (m Identity) Successes(tx []int) []bool {
+	counts := countDup(m.Links, tx)
+	out := make([]bool, len(tx))
+	for i, e := range tx {
+		out[i] = counts[e] == 1
+	}
+	return out
+}
+
+// AllOnes is the multiple-access-channel model: every entry of W is 1, so
+// the interference measure is the total number of packets, and a
+// transmission succeeds only when it is the sole transmission in the
+// network this slot.
+type AllOnes struct {
+	Links int
+}
+
+var _ Model = AllOnes{}
+
+// Name implements Model.
+func (AllOnes) Name() string { return "multiple-access-channel" }
+
+// NumLinks implements Model.
+func (m AllOnes) NumLinks() int { return m.Links }
+
+// Weight implements Model.
+func (m AllOnes) Weight(e, e2 int) float64 { return 1 }
+
+// Successes implements Model.
+func (m AllOnes) Successes(tx []int) []bool {
+	out := make([]bool, len(tx))
+	if len(tx) == 1 {
+		out[0] = true
+	}
+	return out
+}
+
+// Dense is an explicit weight matrix with threshold transmission
+// semantics: a transmission on e succeeds when e carries one packet and
+// the summed weight of all other simultaneous transmissions at e stays
+// below Threshold (default 1). It serves as a generic Model for tests and
+// for models whose W is computed up front.
+type Dense struct {
+	name      string
+	w         [][]float64
+	threshold float64
+}
+
+var _ Model = (*Dense)(nil)
+
+// NewDense creates an n×n matrix model with unit diagonal, zero
+// off-diagonal weights, and threshold 1.
+func NewDense(name string, n int) *Dense {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		w[i][i] = 1
+	}
+	return &Dense{name: name, w: w, threshold: 1}
+}
+
+// SetThreshold overrides the success threshold.
+func (d *Dense) SetThreshold(t float64) { d.threshold = t }
+
+// Set assigns W[e][e2]. It returns an error for out-of-range indices,
+// values outside [0,1], or attempts to change the unit diagonal.
+func (d *Dense) Set(e, e2 int, v float64) error {
+	n := len(d.w)
+	if e < 0 || e >= n || e2 < 0 || e2 >= n {
+		return fmt.Errorf("interference: index (%d,%d) out of range [0,%d)", e, e2, n)
+	}
+	if v < 0 || v > 1 {
+		return fmt.Errorf("interference: weight %v outside [0,1]", v)
+	}
+	if e == e2 && v != 1 {
+		return fmt.Errorf("interference: diagonal W[%d][%d] must stay 1", e, e2)
+	}
+	d.w[e][e2] = v
+	return nil
+}
+
+// Name implements Model.
+func (d *Dense) Name() string { return d.name }
+
+// NumLinks implements Model.
+func (d *Dense) NumLinks() int { return len(d.w) }
+
+// Weight implements Model.
+func (d *Dense) Weight(e, e2 int) float64 { return d.w[e][e2] }
+
+// Successes implements Model.
+func (d *Dense) Successes(tx []int) []bool {
+	counts := countDup(len(d.w), tx)
+	out := make([]bool, len(tx))
+	for i, e := range tx {
+		if counts[e] != 1 {
+			continue
+		}
+		sum := 0.0
+		for _, e2 := range tx {
+			if e2 != e {
+				sum += d.w[e][e2]
+			}
+		}
+		out[i] = sum < d.threshold
+	}
+	return out
+}
+
+// Lossy wraps a model and drops each otherwise-successful transmission
+// independently with probability P — the "trivial extension" to
+// unreliable networks sketched in Section 9 of the paper. The random
+// source is supplied per call to keep the model deterministic under
+// seeded runs.
+type Lossy struct {
+	Inner Model
+	P     float64
+	// Rand returns a uniform float64 in [0,1); typically rng.Float64.
+	Rand func() float64
+}
+
+var _ Model = (*Lossy)(nil)
+
+// Name implements Model.
+func (l *Lossy) Name() string { return fmt.Sprintf("lossy(%s,p=%.2f)", l.Inner.Name(), l.P) }
+
+// NumLinks implements Model.
+func (l *Lossy) NumLinks() int { return l.Inner.NumLinks() }
+
+// Weight implements Model.
+func (l *Lossy) Weight(e, e2 int) float64 { return l.Inner.Weight(e, e2) }
+
+// Successes implements Model.
+func (l *Lossy) Successes(tx []int) []bool {
+	out := l.Inner.Successes(tx)
+	for i, ok := range out {
+		if ok && l.Rand() < l.P {
+			out[i] = false
+		}
+	}
+	return out
+}

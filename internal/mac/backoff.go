@@ -1,0 +1,121 @@
+package mac
+
+import (
+	"math"
+	"math/rand"
+
+	"dynsched/internal/interference"
+	"dynsched/internal/static"
+)
+
+// Backoff is binary exponential backoff, the classic acknowledgement-
+// based contention scheme analysed by Håstad, Leighton and Rogoff [29].
+// Each packet draws its next attempt uniformly from a window that
+// doubles after every collision (capped at MaxWindow). It is included
+// as the historical baseline the paper's Algorithm 2 improves on:
+// backoff's throughput degrades as load approaches capacity, and it has
+// no high-probability schedule-length contract, which shows up as much
+// looser Budget values.
+type Backoff struct {
+	// InitialWindow is the first backoff window (default 2).
+	InitialWindow int
+	// MaxWindow caps the doubling (default 4096).
+	MaxWindow int
+}
+
+var _ static.Algorithm = Backoff{}
+
+// Name implements static.Algorithm.
+func (Backoff) Name() string { return "binary-backoff" }
+
+func (b Backoff) initial() int {
+	if b.InitialWindow < 1 {
+		return 2
+	}
+	return b.InitialWindow
+}
+
+func (b Backoff) maxWindow() int {
+	if b.MaxWindow < 2 {
+		return 4096
+	}
+	return b.MaxWindow
+}
+
+// Budget implements static.Algorithm. Backoff has no whp guarantee; the
+// budget reflects its empirical O(n·log n) behaviour at moderate load
+// with generous slack.
+func (b Backoff) Budget(numLinks int, meas float64, n int) int {
+	n = effectivePackets(meas, n)
+	if n == 0 {
+		return 1
+	}
+	return int(math.Ceil(6*float64(n)*math.Log2(float64(n)+2))) + 64
+}
+
+// NewExecution implements static.Algorithm.
+func (b Backoff) NewExecution(m interference.Model, reqs []static.Request) static.Execution {
+	e := &backoffExec{
+		window:    make([]int, len(reqs)),
+		next:      make([]int, len(reqs)),
+		served:    make([]bool, len(reqs)),
+		remaining: len(reqs),
+		initial:   b.initial(),
+		max:       b.maxWindow(),
+	}
+	for i := range e.window {
+		e.window[i] = e.initial
+		e.next[i] = -1 // drawn lazily on the first slot
+	}
+	return e
+}
+
+type backoffExec struct {
+	window    []int // current backoff window per request
+	next      []int // slots until the next attempt (-1 = undrawn)
+	served    []bool
+	remaining int
+	initial   int
+	max       int
+}
+
+func (e *backoffExec) Done() bool     { return e.remaining == 0 }
+func (e *backoffExec) Remaining() int { return e.remaining }
+
+func (e *backoffExec) Attempts(rng *rand.Rand) []int {
+	if e.remaining == 0 {
+		return nil
+	}
+	var out []int
+	for i := range e.next {
+		if e.served[i] {
+			continue
+		}
+		if e.next[i] < 0 {
+			e.next[i] = rng.Intn(e.window[i])
+		}
+		if e.next[i] == 0 {
+			out = append(out, i)
+		} else {
+			e.next[i]--
+		}
+	}
+	return out
+}
+
+func (e *backoffExec) Observe(attempted []int, success []bool) {
+	for i, idx := range attempted {
+		if success[i] {
+			if !e.served[idx] {
+				e.served[idx] = true
+				e.remaining--
+			}
+			continue
+		}
+		// Collision: double the window and redraw.
+		if e.window[idx] < e.max {
+			e.window[idx] *= 2
+		}
+		e.next[idx] = -1
+	}
+}

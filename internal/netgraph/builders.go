@@ -1,0 +1,221 @@
+package netgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dynsched/internal/geom"
+)
+
+// GridNetwork builds a rows×cols grid with the given spacing. Each pair
+// of horizontally or vertically adjacent nodes is connected by links in
+// both directions.
+func GridNetwork(rows, cols int, spacing float64) *Graph {
+	g := New(rows * cols)
+	if err := g.SetPositions(geom.Grid(rows, cols, spacing)); err != nil {
+		panic(err) // sizes match by construction
+	}
+	node := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddLink(node(r, c), node(r, c+1))
+				g.MustAddLink(node(r, c+1), node(r, c))
+			}
+			if r+1 < rows {
+				g.MustAddLink(node(r, c), node(r+1, c))
+				g.MustAddLink(node(r+1, c), node(r, c))
+			}
+		}
+	}
+	return g
+}
+
+// LineNetwork builds n nodes on a line with bidirectional links between
+// neighbours.
+func LineNetwork(n int, spacing float64) *Graph {
+	g := New(n)
+	if err := g.SetPositions(geom.Line(n, spacing)); err != nil {
+		panic(err)
+	}
+	for i := 0; i+1 < n; i++ {
+		g.MustAddLink(NodeID(i), NodeID(i+1))
+		g.MustAddLink(NodeID(i+1), NodeID(i))
+	}
+	return g
+}
+
+// RandomGeometric places n nodes uniformly in a side×side square and
+// connects every ordered pair within the given radius.
+func RandomGeometric(rng *rand.Rand, n int, side, radius float64) *Graph {
+	g := New(n)
+	pts := geom.Uniform(rng, n, side)
+	if err := g.SetPositions(pts); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && pts[i].Dist(pts[j]) <= radius {
+				g.MustAddLink(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+// RandomPairs builds n disjoint sender→receiver links: senders are
+// uniform in the side×side square and each receiver sits at a uniform
+// angle and a length uniform in [minLen, maxLen] from its sender. This
+// is the standard topology for static SINR scheduling experiments.
+func RandomPairs(rng *rand.Rand, n int, side, minLen, maxLen float64) *Graph {
+	if maxLen < minLen {
+		minLen, maxLen = maxLen, minLen
+	}
+	g := New(2 * n)
+	pts := make([]geom.Point, 2*n)
+	for i := 0; i < n; i++ {
+		s := geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		length := minLen + rng.Float64()*(maxLen-minLen)
+		angle := rng.Float64() * 2 * 3.141592653589793
+		r := geom.Point{X: s.X + length*cos(angle), Y: s.Y + length*sin(angle)}
+		pts[2*i], pts[2*i+1] = s, r
+	}
+	if err := g.SetPositions(pts); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddLink(NodeID(2*i), NodeID(2*i+1))
+	}
+	return g
+}
+
+// NestedChain builds n collinear sender→receiver pairs with
+// exponentially growing lengths: link i has length growth^i and starts
+// one unit after the previous link ends. This is the classic hard
+// instance for uniform transmission powers — each short link's sender
+// sits close to all longer links' receivers relative to their lengths,
+// so the monotone interference measure concentrates on the long links —
+// while linear power assignments handle it gracefully.
+func NestedChain(n int, growth float64) *Graph {
+	if growth < 1.1 {
+		growth = 2
+	}
+	g := New(2 * n)
+	pts := make([]geom.Point, 2*n)
+	x := 0.0
+	length := 1.0
+	for i := 0; i < n; i++ {
+		pts[2*i] = geom.Point{X: x}
+		pts[2*i+1] = geom.Point{X: x + length}
+		x += length + 1
+		length *= growth
+	}
+	if err := g.SetPositions(pts); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddLink(NodeID(2*i), NodeID(2*i+1))
+	}
+	return g
+}
+
+// Ring builds n nodes on a circle with bidirectional neighbour links.
+func Ring(n int, radius float64) *Graph {
+	g := New(n)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		angle := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = geom.Point{X: radius * math.Cos(angle), Y: radius * math.Sin(angle)}
+	}
+	if err := g.SetPositions(pts); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		g.MustAddLink(NodeID(i), NodeID(j))
+		g.MustAddLink(NodeID(j), NodeID(i))
+	}
+	return g
+}
+
+// BinaryTree builds a complete binary tree of the given depth with
+// bidirectional parent-child links; node 0 is the root. Positions place
+// each level on its own row, which keeps sibling subtrees apart for
+// geometric models.
+func BinaryTree(depth int, spacing float64) *Graph {
+	n := (1 << (depth + 1)) - 1
+	g := New(n)
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		level := 0
+		for (1<<(level+1))-1 <= i {
+			level++
+		}
+		posInLevel := i - ((1 << level) - 1)
+		width := float64(int(1) << depth)
+		step := width / float64(int(1)<<level)
+		pts[i] = geom.Point{
+			X: (float64(posInLevel) + 0.5) * step * spacing,
+			Y: float64(level) * spacing,
+		}
+	}
+	if err := g.SetPositions(pts); err != nil {
+		panic(err)
+	}
+	for i := 1; i < n; i++ {
+		parent := NodeID((i - 1) / 2)
+		g.MustAddLink(parent, NodeID(i))
+		g.MustAddLink(NodeID(i), parent)
+	}
+	return g
+}
+
+// MACChannel builds the abstract multiple-access-channel topology: n
+// stations, each with one link to a common sink. Geometry is omitted;
+// only the all-ones interference model is meaningful on this graph.
+func MACChannel(n int) *Graph {
+	g := New(n + 1)
+	sink := NodeID(n)
+	for i := 0; i < n; i++ {
+		g.MustAddLink(NodeID(i), sink)
+	}
+	return g
+}
+
+// Star builds a bidirectional star with n leaves around node 0.
+func Star(n int, spacing float64) *Graph {
+	g := New(n + 1)
+	pts := make([]geom.Point, n+1)
+	pts[0] = geom.Point{}
+	for i := 1; i <= n; i++ {
+		angle := 2 * 3.141592653589793 * float64(i-1) / float64(n)
+		pts[i] = geom.Point{X: spacing * cos(angle), Y: spacing * sin(angle)}
+	}
+	if err := g.SetPositions(pts); err != nil {
+		panic(err)
+	}
+	for i := 1; i <= n; i++ {
+		g.MustAddLink(0, NodeID(i))
+		g.MustAddLink(NodeID(i), 0)
+	}
+	return g
+}
+
+// DumbbellPaths returns k node-disjoint-free paths crossing a line
+// network end to end; it is a convenience for latency experiments and
+// returns an error if the graph is not a line built by LineNetwork.
+func DumbbellPaths(g *Graph, hops int) ([]Path, error) {
+	if hops < 1 || hops >= g.NumNodes() {
+		return nil, fmt.Errorf("netgraph: %d hops impossible on %d nodes", hops, g.NumNodes())
+	}
+	p, ok := ShortestPath(g, 0, NodeID(hops))
+	if !ok {
+		return nil, fmt.Errorf("netgraph: node %d unreachable from 0", hops)
+	}
+	return []Path{p}, nil
+}
+
+// cos and sin wrap math for terse builder code.
+func cos(x float64) float64 { return math.Cos(x) }
+func sin(x float64) float64 { return math.Sin(x) }

@@ -1,0 +1,33 @@
+package netgraph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for debugging and
+// documentation. Positions, when present, are emitted as `pos` pin
+// attributes (usable with `neato -n`).
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "network"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  node [shape=circle fontsize=10];\n")
+	for v := 0; v < g.numNodes; v++ {
+		if g.pos != nil {
+			p := g.pos[v]
+			fmt.Fprintf(&b, "  n%d [pos=\"%g,%g!\"];\n", v, p.X, p.Y)
+		} else {
+			fmt.Fprintf(&b, "  n%d;\n", v)
+		}
+	}
+	for _, l := range g.links {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"e%d\" fontsize=8];\n", l.From, l.To, l.ID)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

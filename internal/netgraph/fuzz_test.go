@@ -1,0 +1,76 @@
+package netgraph
+
+import "testing"
+
+// FuzzPathValidate feeds arbitrary link sequences to Path.Validate on a
+// fixed graph and cross-checks its verdict against a reference chaining
+// check — Validate must never panic and never accept a broken path.
+func FuzzPathValidate(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{})
+	f.Add([]byte{7, 7, 7})
+
+	g := LineNetwork(5, 1) // 8 links
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		p := make(Path, len(raw))
+		for i, b := range raw {
+			p[i] = LinkID(int(b) % 10) // may exceed the 8 valid links
+		}
+		err := p.Validate(g)
+
+		// Reference check.
+		ok := len(p) > 0
+		for i, id := range p {
+			if id < 0 || int(id) >= g.NumLinks() {
+				ok = false
+				break
+			}
+			if i > 0 && g.Link(p[i-1]).To != g.Link(id).From {
+				ok = false
+				break
+			}
+		}
+		if ok != (err == nil) {
+			t.Fatalf("Validate = %v but reference says ok=%v for %v", err, ok, p)
+		}
+		if err == nil {
+			// Valid paths expose endpoints without panicking.
+			_ = p.Source(g)
+			_ = p.Dest(g)
+		}
+	})
+}
+
+// FuzzShortestPath checks that BFS results are always valid paths with
+// matching endpoints, on arbitrary node pairs.
+func FuzzShortestPath(f *testing.F) {
+	f.Add(uint8(0), uint8(4))
+	f.Add(uint8(2), uint8(2))
+	g := GridNetwork(3, 3, 1)
+
+	f.Fuzz(func(t *testing.T, a, b uint8) {
+		u := NodeID(int(a) % g.NumNodes())
+		v := NodeID(int(b) % g.NumNodes())
+		p, ok := ShortestPath(g, u, v)
+		if !ok {
+			t.Fatalf("grid is connected but %d→%d failed", u, v)
+		}
+		if u == v {
+			if len(p) != 0 {
+				t.Fatalf("self path %v", p)
+			}
+			return
+		}
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("invalid path: %v", err)
+		}
+		if p.Source(g) != u || p.Dest(g) != v {
+			t.Fatalf("endpoints %d→%d for query %d→%d", p.Source(g), p.Dest(g), u, v)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+// Package netgraph models the communication network of the paper: a
+// directed graph whose vertices are radio nodes and whose edges are the
+// possible communication links. Packets follow fixed paths of links; the
+// significant network size is m = max(|E|, D) where D bounds the path
+// length (Section 2 of the paper).
+package netgraph
+
+import (
+	"fmt"
+
+	"dynsched/internal/geom"
+)
+
+// NodeID identifies a network node.
+type NodeID int
+
+// LinkID identifies a directed communication link. LinkIDs are dense:
+// they index arrays of size Graph.NumLinks().
+type LinkID int
+
+// Link is a directed communication link between two nodes.
+type Link struct {
+	ID   LinkID
+	From NodeID
+	To   NodeID
+}
+
+// Graph is a directed communication graph. Nodes may carry positions in
+// the plane (required by geometric interference models, ignored by
+// abstract ones such as the multiple-access channel), or an explicit
+// distance matrix for general metric spaces (Section 6.2 distinguishes
+// fading metrics from general metrics; the SINR models work over either).
+type Graph struct {
+	numNodes int
+	pos      []geom.Point
+	dist     [][]float64 // explicit metric, row-major; nil unless set
+	links    []Link
+	out      [][]LinkID
+	in       [][]LinkID
+	byPair   map[[2]NodeID]LinkID
+}
+
+// New creates a graph with n nodes and no links.
+func New(n int) *Graph {
+	return &Graph{
+		numNodes: n,
+		out:      make([][]LinkID, n),
+		in:       make([][]LinkID, n),
+		byPair:   make(map[[2]NodeID]LinkID),
+	}
+}
+
+// SetPositions assigns planar positions to all nodes. It returns an
+// error if the slice length does not match the node count.
+func (g *Graph) SetPositions(pts []geom.Point) error {
+	if len(pts) != g.numNodes {
+		return fmt.Errorf("netgraph: %d positions for %d nodes", len(pts), g.numNodes)
+	}
+	g.pos = make([]geom.Point, len(pts))
+	copy(g.pos, pts)
+	return nil
+}
+
+// HasPositions reports whether nodes carry planar positions.
+func (g *Graph) HasPositions() bool { return g.pos != nil }
+
+// SetMetric assigns an explicit node-distance matrix (a general metric
+// space). The matrix must be n×n, symmetric, non-negative, with zero
+// diagonal. Geometric models consult the metric when set, falling back
+// to planar positions otherwise.
+func (g *Graph) SetMetric(dist [][]float64) error {
+	if len(dist) != g.numNodes {
+		return fmt.Errorf("netgraph: %d metric rows for %d nodes", len(dist), g.numNodes)
+	}
+	for i := range dist {
+		if len(dist[i]) != g.numNodes {
+			return fmt.Errorf("netgraph: metric row %d has %d entries", i, len(dist[i]))
+		}
+		if dist[i][i] != 0 {
+			return fmt.Errorf("netgraph: metric diagonal (%d,%d) = %v, want 0", i, i, dist[i][i])
+		}
+		for j := range dist[i] {
+			if dist[i][j] < 0 {
+				return fmt.Errorf("netgraph: negative distance (%d,%d)", i, j)
+			}
+			if dist[i][j] != dist[j][i] {
+				return fmt.Errorf("netgraph: asymmetric distance (%d,%d)", i, j)
+			}
+		}
+	}
+	g.dist = dist
+	return nil
+}
+
+// HasMetric reports whether an explicit distance matrix is set.
+func (g *Graph) HasMetric() bool { return g.dist != nil }
+
+// HasDistances reports whether node distances are available from either
+// source (explicit metric or planar positions).
+func (g *Graph) HasDistances() bool { return g.dist != nil || g.pos != nil }
+
+// NodeDist returns the distance between two nodes, from the explicit
+// metric when set and from planar positions otherwise. It panics if the
+// graph has neither (programmer error: a geometric model was built on
+// an abstract graph).
+func (g *Graph) NodeDist(u, v NodeID) float64 {
+	if g.dist != nil {
+		return g.dist[u][v]
+	}
+	return g.Pos(u).Dist(g.Pos(v))
+}
+
+// Pos returns the position of node v. It panics if positions were never
+// set (programmer error: a geometric model was built on an abstract graph).
+func (g *Graph) Pos(v NodeID) geom.Point {
+	if g.pos == nil {
+		panic("netgraph: graph has no positions")
+	}
+	return g.pos[v]
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.numNodes }
+
+// NumLinks returns the number of links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// AddLink adds a directed link from u to v and returns its ID. Adding a
+// duplicate (same ordered pair) returns the existing ID. It returns an
+// error for out-of-range endpoints or self-loops.
+func (g *Graph) AddLink(u, v NodeID) (LinkID, error) {
+	if u < 0 || int(u) >= g.numNodes || v < 0 || int(v) >= g.numNodes {
+		return 0, fmt.Errorf("netgraph: link endpoints (%d,%d) out of range [0,%d)", u, v, g.numNodes)
+	}
+	if u == v {
+		return 0, fmt.Errorf("netgraph: self-loop at node %d", u)
+	}
+	if id, ok := g.byPair[[2]NodeID{u, v}]; ok {
+		return id, nil
+	}
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, From: u, To: v})
+	g.out[u] = append(g.out[u], id)
+	g.in[v] = append(g.in[v], id)
+	g.byPair[[2]NodeID{u, v}] = id
+	return id, nil
+}
+
+// MustAddLink is AddLink for construction code with known-good inputs.
+func (g *Graph) MustAddLink(u, v NodeID) LinkID {
+	id, err := g.AddLink(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) Link { return g.links[id] }
+
+// Links returns all links. The caller must not modify the result.
+func (g *Graph) Links() []Link { return g.links }
+
+// Out returns the IDs of links leaving v. The caller must not modify it.
+func (g *Graph) Out(v NodeID) []LinkID { return g.out[v] }
+
+// In returns the IDs of links entering v. The caller must not modify it.
+func (g *Graph) In(v NodeID) []LinkID { return g.in[v] }
+
+// FindLink returns the link from u to v, if present.
+func (g *Graph) FindLink(u, v NodeID) (LinkID, bool) {
+	id, ok := g.byPair[[2]NodeID{u, v}]
+	return id, ok
+}
+
+// LinkDist returns the length of link id. It panics if the graph has
+// neither a metric nor positions.
+func (g *Graph) LinkDist(id LinkID) float64 {
+	l := g.links[id]
+	return g.NodeDist(l.From, l.To)
+}
+
+// SenderReceiverDist returns the distance from the sender of a to the
+// receiver of b — the cross-link distance d(s_a, r_b) that interference
+// computations need.
+func (g *Graph) SenderReceiverDist(a, b LinkID) float64 {
+	return g.NodeDist(g.links[a].From, g.links[b].To)
+}

@@ -1,0 +1,99 @@
+// Package plot renders time series and histograms as compact ASCII
+// charts for the command-line tools — enough to see a queue explode or
+// a latency tail without leaving the terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dynsched/internal/stats"
+)
+
+// blocks are the eighth-height bar glyphs, lowest to highest.
+var blocks = []rune(" ▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line unicode sparkline of at most
+// width cells (values are bucketed by mean when longer).
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width < 1 {
+		return ""
+	}
+	cells := resample(values, width)
+	lo, hi := cells[0], cells[0]
+	for _, v := range cells {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range cells {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		} else if hi > 0 {
+			idx = len(blocks) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}
+
+// resample buckets values into exactly width cells by averaging.
+func resample(values []float64, width int) []float64 {
+	if len(values) <= width {
+		out := make([]float64, len(values))
+		copy(out, values)
+		return out
+	}
+	out := make([]float64, width)
+	for i := 0; i < width; i++ {
+		start := i * len(values) / width
+		end := (i + 1) * len(values) / width
+		if end == start {
+			end = start + 1
+		}
+		sum := 0.0
+		for _, v := range values[start:end] {
+			sum += v
+		}
+		out[i] = sum / float64(end-start)
+	}
+	return out
+}
+
+// Series renders a labelled sparkline with min/max annotations.
+func Series(label string, s *stats.Series, width int) string {
+	if s.Len() == 0 {
+		return fmt.Sprintf("%s: (no samples)", label)
+	}
+	return fmt.Sprintf("%s: %s  [%.1f .. %.1f]",
+		label, Sparkline(s.V, width), minOf(s.V), stats.Max(s.V))
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+// Histogram renders a vertical-bar summary of quantiles.
+func Histogram(label string, h *stats.Histogram, width int) string {
+	if h.N() == 0 {
+		return fmt.Sprintf("%s: (no samples)", label)
+	}
+	qs := make([]float64, width)
+	for i := range qs {
+		qs[i] = h.Quantile(float64(i+1) / float64(width+1))
+	}
+	return fmt.Sprintf("%s: %s  p50=%.0f p99=%.0f max=%.0f",
+		label, Sparkline(qs, width), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}

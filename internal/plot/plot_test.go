@@ -1,0 +1,81 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"dynsched/internal/stats"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("empty input produced %q", got)
+	}
+	if got := Sparkline([]float64{1, 2, 3}, 0); got != "" {
+		t.Errorf("zero width produced %q", got)
+	}
+	// Monotone ramp: last glyph strictly taller than first.
+	ramp := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	runes := []rune(ramp)
+	if len(runes) != 8 {
+		t.Fatalf("ramp has %d cells, want 8", len(runes))
+	}
+	if runes[0] == runes[len(runes)-1] {
+		t.Errorf("ramp endpoints identical: %q", ramp)
+	}
+	// Constant positive series: full blocks.
+	flat := Sparkline([]float64{5, 5, 5}, 3)
+	if !strings.Contains(flat, "█") {
+		t.Errorf("constant positive series rendered %q", flat)
+	}
+	// Constant zero series: spaces (lowest glyph).
+	zero := Sparkline([]float64{0, 0}, 2)
+	if strings.ContainsRune(zero, '█') {
+		t.Errorf("zero series rendered %q", zero)
+	}
+}
+
+func TestSparklineResamples(t *testing.T) {
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	s := Sparkline(long, 20)
+	if utf8.RuneCountInString(s) != 20 {
+		t.Fatalf("resampled width %d, want 20", utf8.RuneCountInString(s))
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	var s stats.Series
+	for i := 0; i < 50; i++ {
+		s.Append(float64(i), float64(i%7))
+	}
+	out := Series("queue", &s, 16)
+	if !strings.HasPrefix(out, "queue: ") {
+		t.Errorf("missing label: %q", out)
+	}
+	if !strings.Contains(out, "[0.0 .. 6.0]") {
+		t.Errorf("missing range annotation: %q", out)
+	}
+	var empty stats.Series
+	if out := Series("x", &empty, 8); !strings.Contains(out, "no samples") {
+		t.Errorf("empty series rendered %q", out)
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	h := stats.NewHistogram(1, 100)
+	for i := 0; i < 200; i++ {
+		h.Add(float64(i % 50))
+	}
+	out := Histogram("latency", h, 12)
+	if !strings.Contains(out, "p50=") || !strings.Contains(out, "p99=") {
+		t.Errorf("missing quantiles: %q", out)
+	}
+	empty := stats.NewHistogram(1, 4)
+	if out := Histogram("x", empty, 4); !strings.Contains(out, "no samples") {
+		t.Errorf("empty histogram rendered %q", out)
+	}
+}

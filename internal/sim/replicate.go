@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"dynsched/internal/inject"
+	"dynsched/internal/interference"
+	"dynsched/internal/stats"
+)
+
+// RunInput bundles one replication's independently constructed
+// components. Replications must not share mutable state.
+type RunInput struct {
+	Model    interference.Model
+	Process  inject.Process
+	Protocol Protocol
+}
+
+// Replication is one run's headline numbers.
+type Replication struct {
+	Rep       int
+	Stable    bool
+	MeanQ     float64
+	MaxQ      float64
+	MeanLat   float64
+	Delivered int64
+	Injected  int64
+}
+
+// ReplicateResult aggregates R independent runs.
+type ReplicateResult struct {
+	Runs      []Replication
+	StableAll bool
+	MeanQ     stats.Summary // across-replication distribution of mean queue
+	MeanLat   stats.Summary // across-replication distribution of mean latency
+}
+
+// Replicate runs `reps` independent simulations in parallel with
+// distinct seeds derived from cfg.Seed and aggregates the headline
+// metrics. build is called once per replication with the replication
+// index and its seed, and must return fresh instances.
+func Replicate(cfg Config, reps int, build func(rep int, seed int64) (RunInput, error)) (*ReplicateResult, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("sim: reps %d must be positive", reps)
+	}
+	out := &ReplicateResult{Runs: make([]Replication, reps), StableAll: true}
+	errs := make([]error, reps)
+	var wg sync.WaitGroup
+	for r := 0; r < reps; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			seed := cfg.Seed + int64(r)*1_000_003
+			in, err := build(r, seed)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			c := cfg
+			c.Seed = seed
+			res, err := Run(c, in.Model, in.Process, in.Protocol)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			out.Runs[r] = Replication{
+				Rep:       r,
+				Stable:    res.Verdict.Stable,
+				MeanQ:     res.Queue.MeanV(),
+				MaxQ:      res.Queue.MaxV(),
+				MeanLat:   res.Latency.Mean(),
+				Delivered: res.Delivered,
+				Injected:  res.Injected,
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, run := range out.Runs {
+		out.StableAll = out.StableAll && run.Stable
+		out.MeanQ.Add(run.MeanQ)
+		out.MeanLat.Add(run.MeanLat)
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+// Package sim is the discrete-time simulation engine: it advances a
+// protocol slot by slot against an interference model and an injection
+// process, resolves which transmissions succeed, moves packets along
+// their paths, and collects the queue-length and latency metrics the
+// experiments report.
+//
+// The simulator, not the protocol, owns packet ground truth: a protocol
+// may only request transmissions of packets it holds, on the next link
+// of their paths. Violations are counted and the offending transmissions
+// dropped, so a buggy protocol cannot corrupt an experiment silently.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynsched/internal/inject"
+	"dynsched/internal/interference"
+	"dynsched/internal/stats"
+)
+
+// Transmission is a protocol's request to send one packet over one link.
+type Transmission struct {
+	Link     int
+	PacketID int64
+}
+
+// Protocol is a dynamic scheduling protocol driven by the simulator.
+type Protocol interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// Inject hands the protocol the packets injected at slot t, before
+	// Slot(t) is called.
+	Inject(t int64, pkts []inject.Packet)
+	// Slot returns the transmissions to attempt at slot t.
+	Slot(t int64, rng *rand.Rand) []Transmission
+	// Feedback reports the outcome of each attempted transmission of
+	// slot t (acknowledgement-based feedback).
+	Feedback(t int64, tx []Transmission, success []bool)
+}
+
+// Config parameterises a simulation run.
+type Config struct {
+	// Slots is the number of time slots to simulate.
+	Slots int64
+	// SampleEvery sets the queue-length sampling period (0 = Slots/512,
+	// min 1).
+	SampleEvery int64
+	// Seed seeds the run's random source.
+	Seed int64
+	// WarmupFrac excludes the first fraction of the run from latency
+	// statistics (default 0: keep everything).
+	WarmupFrac float64
+	// MaxLatencySlots sizes the latency histogram (0 = Slots).
+	MaxLatencySlots int64
+}
+
+// Result aggregates the metrics of one run.
+type Result struct {
+	Slots     int64
+	Injected  int64
+	Delivered int64
+	InFlight  int64 // packets still queued at the end
+
+	// Latency is the per-packet latency histogram (delivery − injection),
+	// excluding the warm-up period.
+	Latency *stats.Histogram
+	// HopLatency summarises latency divided by path length.
+	HopLatency stats.Summary
+	// Queue is the sampled time series of in-flight packet counts.
+	Queue stats.Series
+	// Verdict classifies the queue series as stable or unstable.
+	Verdict stats.StabilityVerdict
+
+	// ProtocolErrors counts transmissions the simulator rejected
+	// (unknown packet, wrong link). Always 0 for a correct protocol.
+	ProtocolErrors int64
+	// AttemptedTx and SuccessfulTx count link-level transmissions.
+	AttemptedTx  int64
+	SuccessfulTx int64
+
+	// PerLinkServed counts successful transmissions per link.
+	PerLinkServed []int64
+	// PerLinkAttempts counts attempted transmissions per link.
+	PerLinkAttempts []int64
+}
+
+// LinkUtilization returns the fraction of slots in which link e carried
+// a successful transmission.
+func (r *Result) LinkUtilization(e int) float64 {
+	if r.Slots == 0 || e < 0 || e >= len(r.PerLinkServed) {
+		return 0
+	}
+	return float64(r.PerLinkServed[e]) / float64(r.Slots)
+}
+
+// FairnessIndex returns Jain's fairness index over per-link service
+// counts, restricted to links that were attempted at all: 1 means
+// perfectly even service, 1/k means one of k links got everything.
+func (r *Result) FairnessIndex() float64 {
+	var sum, sumSq float64
+	n := 0
+	for e, served := range r.PerLinkServed {
+		if r.PerLinkAttempts[e] == 0 {
+			continue
+		}
+		s := float64(served)
+		sum += s
+		sumSq += s * s
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// Throughput returns delivered packets per slot.
+func (r *Result) Throughput() float64 {
+	if r.Slots == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Slots)
+}
+
+// pktState is the simulator's ground truth for an in-flight packet.
+type pktState struct {
+	path     []int // remaining-agnostic: full path as link IDs
+	hop      int   // next hop index
+	injected int64
+}
+
+// Run simulates the protocol against the model and injection process.
+func Run(cfg Config, model interference.Model, proc inject.Process, proto Protocol) (*Result, error) {
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("sim: non-positive slot count %d", cfg.Slots)
+	}
+	sample := cfg.SampleEvery
+	if sample <= 0 {
+		sample = cfg.Slots / 512
+		if sample < 1 {
+			sample = 1
+		}
+	}
+	maxLat := cfg.MaxLatencySlots
+	if maxLat <= 0 {
+		maxLat = cfg.Slots
+	}
+	latBucket := float64(maxLat) / 256
+	if latBucket < 1 {
+		latBucket = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{
+		Slots:           cfg.Slots,
+		Latency:         stats.NewHistogram(latBucket, 257),
+		PerLinkServed:   make([]int64, model.NumLinks()),
+		PerLinkAttempts: make([]int64, model.NumLinks()),
+	}
+	warmupEnd := int64(cfg.WarmupFrac * float64(cfg.Slots))
+	inFlight := make(map[int64]*pktState)
+
+	for t := int64(0); t < cfg.Slots; t++ {
+		// 1. Injection.
+		pkts := proc.Step(t, rng)
+		for _, p := range pkts {
+			path := make([]int, len(p.Path))
+			for i, e := range p.Path {
+				path[i] = int(e)
+			}
+			inFlight[p.ID] = &pktState{path: path, injected: t}
+		}
+		res.Injected += int64(len(pkts))
+		if len(pkts) > 0 {
+			proto.Inject(t, pkts)
+		}
+
+		// 2. The protocol picks transmissions; invalid ones are dropped.
+		want := proto.Slot(t, rng)
+		tx := want[:0]
+		for _, w := range want {
+			st, ok := inFlight[w.PacketID]
+			if !ok || st.hop >= len(st.path) || st.path[st.hop] != w.Link {
+				res.ProtocolErrors++
+				continue
+			}
+			tx = append(tx, w)
+		}
+
+		// 3. Resolve the slot physically.
+		links := make([]int, len(tx))
+		for i, w := range tx {
+			links[i] = w.Link
+			res.PerLinkAttempts[w.Link]++
+		}
+		success := model.Successes(links)
+		res.AttemptedTx += int64(len(tx))
+
+		// 4. Advance packets and deliver.
+		for i, w := range tx {
+			if !success[i] {
+				continue
+			}
+			res.SuccessfulTx++
+			res.PerLinkServed[w.Link]++
+			st := inFlight[w.PacketID]
+			st.hop++
+			if st.hop == len(st.path) {
+				res.Delivered++
+				if t >= warmupEnd {
+					lat := float64(t - st.injected + 1)
+					res.Latency.Add(lat)
+					res.HopLatency.Add(lat / float64(len(st.path)))
+				}
+				delete(inFlight, w.PacketID)
+			}
+		}
+		proto.Feedback(t, tx, success)
+
+		// 5. Metrics sampling.
+		if t%sample == 0 {
+			res.Queue.Append(float64(t), float64(len(inFlight)))
+		}
+	}
+	res.InFlight = int64(len(inFlight))
+	res.Verdict = res.Queue.Stability()
+	return res, nil
+}

@@ -1,0 +1,181 @@
+package sinr
+
+import (
+	"fmt"
+	"math"
+
+	"dynsched/internal/interference"
+	"dynsched/internal/netgraph"
+)
+
+// WeightKind selects which Section 6.1 weight matrix a fixed-power model
+// uses for its analysis side.
+type WeightKind int
+
+// Weight matrix constructions from Section 6.1.
+const (
+	// WeightAffectance sets W[ℓ][ℓ'] = a_p(ℓ', ℓ): the interference ℓ'
+	// causes at ℓ. This is the construction for linear power assignments.
+	WeightAffectance WeightKind = iota + 1
+	// WeightMonotone sets W[ℓ][ℓ'] = max{a_p(ℓ,ℓ'), a_p(ℓ',ℓ)} when
+	// d(ℓ) ≤ d(ℓ') and 0 otherwise: the construction for monotone
+	// (sub-)linear assignments such as uniform powers.
+	WeightMonotone
+)
+
+// FixedPower is the SINR model with a fixed transmission power per link
+// (Section 6.1). Its Successes method applies the exact physical SINR
+// test; its Weight method exposes the chosen analysis matrix.
+type FixedPower struct {
+	g      *netgraph.Graph
+	prm    Params
+	powers []float64
+	kind   WeightKind
+
+	// Cached per-link quantities.
+	lens    []float64 // link lengths
+	signals []float64 // received signal strength p(ℓ)/d(ℓ)^α
+	w       [][]float64
+	name    string
+}
+
+var _ interference.Model = (*FixedPower)(nil)
+
+// NewFixedPower builds a fixed-power SINR model. The graph must carry
+// node positions and powers must have one positive entry per link.
+func NewFixedPower(g *netgraph.Graph, prm Params, powers []float64, kind WeightKind) (*FixedPower, error) {
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.HasDistances() {
+		return nil, fmt.Errorf("sinr: graph has neither positions nor a metric")
+	}
+	if len(powers) != g.NumLinks() {
+		return nil, fmt.Errorf("sinr: %d powers for %d links", len(powers), g.NumLinks())
+	}
+	if kind != WeightAffectance && kind != WeightMonotone {
+		return nil, fmt.Errorf("sinr: unknown weight kind %d", int(kind))
+	}
+	m := &FixedPower{
+		g:      g,
+		prm:    prm,
+		powers: append([]float64(nil), powers...),
+		kind:   kind,
+	}
+	n := g.NumLinks()
+	m.lens = make([]float64, n)
+	m.signals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		p := powers[i]
+		if p <= 0 {
+			return nil, fmt.Errorf("sinr: link %d has non-positive power %v", i, p)
+		}
+		m.lens[i] = g.LinkDist(netgraph.LinkID(i))
+		m.signals[i] = p / math.Pow(m.lens[i], prm.Alpha)
+	}
+	m.buildWeights()
+	m.name = fmt.Sprintf("sinr-fixed(%s)", kindName(kind))
+	return m, nil
+}
+
+func kindName(k WeightKind) string {
+	if k == WeightAffectance {
+		return "affectance"
+	}
+	return "monotone"
+}
+
+func (m *FixedPower) buildWeights() {
+	n := m.g.NumLinks()
+	m.w = make([][]float64, n)
+	for e := 0; e < n; e++ {
+		m.w[e] = make([]float64, n)
+	}
+	for e := 0; e < n; e++ {
+		for e2 := 0; e2 < n; e2++ {
+			if e == e2 {
+				m.w[e][e2] = 1
+				continue
+			}
+			le, le2 := netgraph.LinkID(e), netgraph.LinkID(e2)
+			switch m.kind {
+			case WeightAffectance:
+				m.w[e][e2] = Affectance(m.g, m.prm, m.powers, le2, le)
+			case WeightMonotone:
+				// Interference is charged to the shorter link only.
+				if m.lens[e] <= m.lens[e2] {
+					a1 := Affectance(m.g, m.prm, m.powers, le, le2)
+					a2 := Affectance(m.g, m.prm, m.powers, le2, le)
+					m.w[e][e2] = math.Max(a1, a2)
+				}
+			}
+		}
+	}
+}
+
+// Name implements interference.Model.
+func (m *FixedPower) Name() string { return m.name }
+
+// NumLinks implements interference.Model.
+func (m *FixedPower) NumLinks() int { return m.g.NumLinks() }
+
+// Weight implements interference.Model.
+func (m *FixedPower) Weight(e, e2 int) float64 { return m.w[e][e2] }
+
+// Graph returns the underlying communication graph.
+func (m *FixedPower) Graph() *netgraph.Graph { return m.g }
+
+// Params returns the physical constants.
+func (m *FixedPower) Params() Params { return m.prm }
+
+// Power returns the transmission power of link e.
+func (m *FixedPower) Power(e int) float64 { return m.powers[e] }
+
+// LinkLen returns the length of link e.
+func (m *FixedPower) LinkLen(e int) float64 { return m.lens[e] }
+
+// Successes implements interference.Model using the exact SINR test: a
+// transmission on ℓ succeeds when its link carries a single packet and
+//
+//	p(ℓ)/d(ℓ)^α ≥ β·(Σ_{ℓ'∈S, ℓ'≠ℓ} p(ℓ')/d(s', r)^α + ν).
+func (m *FixedPower) Successes(tx []int) []bool {
+	out := make([]bool, len(tx))
+	if len(tx) == 0 {
+		return out
+	}
+	counts := make([]int, m.g.NumLinks())
+	for _, e := range tx {
+		counts[e]++
+	}
+	// Unique transmitting links, for the O(u²) interference sums.
+	uniq := make([]int, 0, len(tx))
+	for e, c := range counts {
+		if c > 0 {
+			uniq = append(uniq, e)
+		}
+	}
+	ok := make(map[int]bool, len(uniq))
+	for _, e := range uniq {
+		if counts[e] != 1 {
+			continue
+		}
+		interf := m.prm.Noise
+		recv := m.g.Link(netgraph.LinkID(e)).To
+		for _, e2 := range uniq {
+			if e2 == e {
+				continue
+			}
+			d := m.g.NodeDist(m.g.Link(netgraph.LinkID(e2)).From, recv)
+			if d == 0 {
+				interf = math.Inf(1)
+				break
+			}
+			interf += m.powers[e2] / math.Pow(d, m.prm.Alpha)
+		}
+		ok[e] = m.signals[e] >= m.prm.Beta*interf
+	}
+	for i, e := range tx {
+		out[i] = counts[e] == 1 && ok[e]
+	}
+	return out
+}

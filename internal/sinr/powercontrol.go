@@ -1,0 +1,238 @@
+package sinr
+
+import (
+	"fmt"
+	"math"
+
+	"dynsched/internal/interference"
+	"dynsched/internal/netgraph"
+)
+
+// PowerControl is the SINR model of Section 6.2 in which the protocol may
+// choose an individual power for every transmission. Its analysis matrix
+// is the distance-ratio construction
+//
+//	W[ℓ][ℓ'] = min{1, d(ℓ)^α/d(s,r')^α + d(ℓ)^α/d(s',r)^α}   if d(ℓ) ≤ d(ℓ'),
+//	W[ℓ][ℓ'] = 0                                              otherwise,
+//
+// and its physical side decides success by actually solving for a power
+// vector: a set S admits powers exactly when the linear system
+// p ≥ β(A·p + ν·d^α) has a finite non-negative solution, which the model
+// finds by fixed-point iteration (the minimal solution when the spectral
+// radius of βA is below one). Links for which no joint power vector
+// exists are shed greedily, most-interfered first.
+type PowerControl struct {
+	g    *netgraph.Graph
+	prm  Params
+	lens []float64
+	w    [][]float64
+
+	// maxIter and powerCap bound the fixed-point iteration.
+	maxIter  int
+	powerCap float64
+}
+
+var _ interference.Model = (*PowerControl)(nil)
+
+// NewPowerControl builds a power-control SINR model on g.
+func NewPowerControl(g *netgraph.Graph, prm Params) (*PowerControl, error) {
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.HasDistances() {
+		return nil, fmt.Errorf("sinr: graph has neither positions nor a metric")
+	}
+	n := g.NumLinks()
+	m := &PowerControl{
+		g:        g,
+		prm:      prm,
+		lens:     make([]float64, n),
+		maxIter:  200,
+		powerCap: 1e18,
+	}
+	for i := 0; i < n; i++ {
+		m.lens[i] = g.LinkDist(netgraph.LinkID(i))
+		if m.lens[i] <= 0 {
+			return nil, fmt.Errorf("sinr: link %d has non-positive length", i)
+		}
+	}
+	m.buildWeights()
+	return m, nil
+}
+
+func (m *PowerControl) buildWeights() {
+	n := m.g.NumLinks()
+	m.w = make([][]float64, n)
+	alpha := m.prm.Alpha
+	for e := 0; e < n; e++ {
+		m.w[e] = make([]float64, n)
+		for e2 := 0; e2 < n; e2++ {
+			if e == e2 {
+				m.w[e][e2] = 1
+				continue
+			}
+			if m.lens[e] > m.lens[e2] {
+				continue // charged to the shorter link only
+			}
+			le, le2 := netgraph.LinkID(e), netgraph.LinkID(e2)
+			dOwn := math.Pow(m.lens[e], alpha)
+			dToTheirRecv := m.g.SenderReceiverDist(le, le2)     // d(s, r')
+			dFromTheirSender := m.g.SenderReceiverDist(le2, le) // d(s', r)
+			v := 0.0
+			if dToTheirRecv > 0 {
+				v += dOwn / math.Pow(dToTheirRecv, alpha)
+			} else {
+				v = 1
+			}
+			if dFromTheirSender > 0 {
+				v += dOwn / math.Pow(dFromTheirSender, alpha)
+			} else {
+				v = 1
+			}
+			m.w[e][e2] = math.Min(1, v)
+		}
+	}
+}
+
+// Name implements interference.Model.
+func (m *PowerControl) Name() string { return "sinr-power-control" }
+
+// NumLinks implements interference.Model.
+func (m *PowerControl) NumLinks() int { return m.g.NumLinks() }
+
+// Weight implements interference.Model.
+func (m *PowerControl) Weight(e, e2 int) float64 { return m.w[e][e2] }
+
+// Graph returns the underlying communication graph.
+func (m *PowerControl) Graph() *netgraph.Graph { return m.g }
+
+// LinkLen returns the length of link e (shortest-first ordering hook for
+// centralized schedulers).
+func (m *PowerControl) LinkLen(e int) float64 { return m.lens[e] }
+
+// SolvePowers attempts to find a power vector under which every link in
+// set succeeds simultaneously. It returns the powers and true on
+// success, or nil and false when no such vector exists (within the
+// iteration budget).
+func (m *PowerControl) SolvePowers(set []int) ([]float64, bool) {
+	k := len(set)
+	if k == 0 {
+		return nil, true
+	}
+	alpha, beta, nu := m.prm.Alpha, m.prm.Beta, m.prm.Noise
+	// gain[i][j]: normalized interference coupling from set[j]'s sender
+	// into set[i]'s receiver, scaled by set[i]'s own path loss.
+	gain := make([][]float64, k)
+	noiseTerm := make([]float64, k)
+	for i := 0; i < k; i++ {
+		gain[i] = make([]float64, k)
+		li := netgraph.LinkID(set[i])
+		noiseTerm[i] = nu * math.Pow(m.lens[set[i]], alpha)
+		recv := m.g.Link(li).To
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			d := m.g.NodeDist(m.g.Link(netgraph.LinkID(set[j])).From, recv)
+			if d == 0 {
+				return nil, false // co-located interferer: unservable
+			}
+			gain[i][j] = math.Pow(m.lens[set[i]], alpha) / math.Pow(d, alpha)
+		}
+	}
+	// Fixed-point iteration for the minimal solution of
+	// p = β(gain·p + noiseTerm); diverges iff ρ(β·gain) ≥ 1.
+	p := make([]float64, k)
+	next := make([]float64, k)
+	for it := 0; it < m.maxIter; it++ {
+		maxRel := 0.0
+		for i := 0; i < k; i++ {
+			s := noiseTerm[i]
+			for j := 0; j < k; j++ {
+				s += gain[i][j] * p[j]
+			}
+			next[i] = beta * s
+			if next[i] > m.powerCap {
+				return nil, false
+			}
+			den := math.Max(next[i], 1e-300)
+			rel := math.Abs(next[i]-p[i]) / den
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+		p, next = next, p
+		if maxRel < 1e-9 {
+			out := make([]float64, k)
+			copy(out, p)
+			// Scale up marginally so the ≥ comparisons hold strictly
+			// despite floating-point rounding.
+			for i := range out {
+				out[i] *= 1 + 1e-9
+				if out[i] == 0 {
+					out[i] = beta * noiseTerm[i] * (1 + 1e-9)
+				}
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// Successes implements interference.Model. Duplicate attempts on a link
+// fail; among the remaining links the model solves for a joint power
+// vector, shedding the most-interfered link until the residual set is
+// feasible. Shed links fail, the rest succeed.
+func (m *PowerControl) Successes(tx []int) []bool {
+	out := make([]bool, len(tx))
+	if len(tx) == 0 {
+		return out
+	}
+	counts := make([]int, m.g.NumLinks())
+	for _, e := range tx {
+		counts[e]++
+	}
+	var set []int
+	for e, c := range counts {
+		if c == 1 {
+			set = append(set, e)
+		}
+	}
+	served := make(map[int]bool, len(set))
+	for len(set) > 0 {
+		if _, ok := m.SolvePowers(set); ok {
+			for _, e := range set {
+				served[e] = true
+			}
+			break
+		}
+		set = m.shedWorst(set)
+	}
+	for i, e := range tx {
+		out[i] = counts[e] == 1 && served[e]
+	}
+	return out
+}
+
+// shedWorst removes the link that suffers the largest summed weight from
+// the rest of the set — the one the analysis matrix identifies as most
+// interfered.
+func (m *PowerControl) shedWorst(set []int) []int {
+	worst, worstVal := 0, -1.0
+	for i, e := range set {
+		sum := 0.0
+		for _, e2 := range set {
+			if e2 != e {
+				// Use the symmetrized coupling so long links can be shed too.
+				sum += math.Max(m.w[e][e2], m.w[e2][e])
+			}
+		}
+		if sum > worstVal {
+			worst, worstVal = i, sum
+		}
+	}
+	out := make([]int, 0, len(set)-1)
+	out = append(out, set[:worst]...)
+	out = append(out, set[worst+1:]...)
+	return out
+}

@@ -1,0 +1,190 @@
+// Package sinr implements the physical interference model of Section 6:
+// nodes live in the plane, a transmission at power p is received at
+// distance d with strength p/d^α, and a transmission succeeds when its
+// signal-to-interference-plus-noise ratio exceeds the threshold β.
+//
+// The package provides power assignments (uniform, linear, square-root,
+// arbitrary), the affectance quantity a_p(ℓ, ℓ') that measures the
+// relative interference of one link on another, and the weight-matrix
+// constructions of Sections 6.1 (fixed powers) and 6.2 (power control).
+package sinr
+
+import (
+	"fmt"
+	"math"
+
+	"dynsched/internal/geom"
+	"dynsched/internal/netgraph"
+)
+
+// Params are the physical constants of the SINR model.
+type Params struct {
+	// Alpha is the path-loss exponent (typically 2–6).
+	Alpha float64
+	// Beta is the SINR threshold required for successful reception.
+	Beta float64
+	// Noise is the ambient noise ν.
+	Noise float64
+}
+
+// DefaultParams returns the parameters used throughout the experiments:
+// α = 3, β = 1.5, and negligible (but non-zero) noise.
+func DefaultParams() Params {
+	return Params{Alpha: 3, Beta: 1.5, Noise: 1e-9}
+}
+
+// Validate checks the parameters are physically meaningful.
+func (p Params) Validate() error {
+	if p.Alpha <= 0 {
+		return fmt.Errorf("sinr: alpha %v must be positive", p.Alpha)
+	}
+	if p.Beta <= 0 {
+		return fmt.Errorf("sinr: beta %v must be positive", p.Beta)
+	}
+	if p.Noise < 0 {
+		return fmt.Errorf("sinr: noise %v must be non-negative", p.Noise)
+	}
+	return nil
+}
+
+// PowerKind names the built-in power assignment families.
+type PowerKind int
+
+// Power assignment families. Linear assignments make the received signal
+// strength identical across links; square-root assignments sit between
+// uniform and linear and are the oblivious choice of [20, 25].
+const (
+	PowerUniform PowerKind = iota + 1
+	PowerLinear
+	PowerSquareRoot
+)
+
+// String returns the family name.
+func (k PowerKind) String() string {
+	switch k {
+	case PowerUniform:
+		return "uniform"
+	case PowerLinear:
+		return "linear"
+	case PowerSquareRoot:
+		return "square-root"
+	default:
+		return fmt.Sprintf("PowerKind(%d)", int(k))
+	}
+}
+
+// Powers computes the per-link transmission powers for a built-in family
+// on graph g: uniform assigns base to every link; linear assigns
+// base·d(ℓ)^α; square-root assigns base·d(ℓ)^(α/2).
+func Powers(g *netgraph.Graph, prm Params, kind PowerKind, base float64) ([]float64, error) {
+	if base <= 0 {
+		return nil, fmt.Errorf("sinr: base power %v must be positive", base)
+	}
+	out := make([]float64, g.NumLinks())
+	for i := range out {
+		d := g.LinkDist(netgraph.LinkID(i))
+		if d <= 0 {
+			return nil, fmt.Errorf("sinr: link %d has non-positive length %v", i, d)
+		}
+		switch kind {
+		case PowerUniform:
+			out[i] = base
+		case PowerLinear:
+			out[i] = base * math.Pow(d, prm.Alpha)
+		case PowerSquareRoot:
+			out[i] = base * math.Pow(d, prm.Alpha/2)
+		default:
+			return nil, fmt.Errorf("sinr: unknown power kind %v", kind)
+		}
+	}
+	return out, nil
+}
+
+// MaxNoise returns the largest noise level at which every link of g can
+// be received in isolation with the given powers, scaled by margin ∈
+// (0,1]. Experiments use it to pick a ν that keeps isolated links
+// feasible by a comfortable factor.
+func MaxNoise(g *netgraph.Graph, prm Params, powers []float64, margin float64) float64 {
+	minSig := math.Inf(1)
+	for i, p := range powers {
+		d := g.LinkDist(netgraph.LinkID(i))
+		sig := p / math.Pow(d, prm.Alpha)
+		if sig < minSig {
+			minSig = sig
+		}
+	}
+	if math.IsInf(minSig, 1) {
+		return 0
+	}
+	return margin * minSig / prm.Beta
+}
+
+// Affectance returns a_p(l, l2): the relative interference a transmission
+// on l causes to one on l2, per the fixed-power definition of Section 6.1:
+//
+//	a_p(ℓ, ℓ') = min{ 1, β · (p(ℓ)/d(s, r')^α) / (p(ℓ')/d(s', r')^α − βν) }
+//
+// where ℓ = (s, r) and ℓ' = (s', r'). If the margin in the denominator is
+// non-positive (ℓ' cannot even overcome noise) the affectance is 1.
+func Affectance(g *netgraph.Graph, prm Params, powers []float64, l, l2 netgraph.LinkID) float64 {
+	crossDist := g.SenderReceiverDist(l, l2) // d(s, r')
+	if crossDist == 0 {
+		return 1
+	}
+	interf := powers[l] / math.Pow(crossDist, prm.Alpha)
+	signal := powers[l2] / math.Pow(g.LinkDist(l2), prm.Alpha)
+	margin := signal - prm.Beta*prm.Noise
+	if margin <= 0 {
+		return 1
+	}
+	return math.Min(1, prm.Beta*interf/margin)
+}
+
+// IsFadingMetric reports whether the graph's node metric is a fading
+// metric for the given parameters: the path-loss exponent α strictly
+// exceeds the (estimated) doubling dimension. Corollary 14's
+// competitive ratio improves from O(log²m) to O(log m) in this regime.
+// The estimate is an upper bound on the true dimension, so a true
+// result is reliable while a false result may be conservative.
+func IsFadingMetric(g *netgraph.Graph, prm Params) bool {
+	n := g.NumNodes()
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			if i != j {
+				dist[i][j] = g.NodeDist(netgraph.NodeID(i), netgraph.NodeID(j))
+			}
+		}
+	}
+	return prm.Alpha > geom.DoublingDimension(dist)
+}
+
+// MonotoneSubLinear reports whether the power assignment is monotone and
+// (sub-)linear in the sense of Section 6.1: for links with d(ℓ) ≤ d(ℓ'),
+// p(ℓ) ≤ p(ℓ') and p(ℓ)/d(ℓ)^α ≥ p(ℓ')/d(ℓ')^α. Uniform, square-root,
+// and linear assignments all qualify.
+func MonotoneSubLinear(g *netgraph.Graph, prm Params, powers []float64) bool {
+	type lp struct{ d, p float64 }
+	links := make([]lp, g.NumLinks())
+	for i := range links {
+		links[i] = lp{d: g.LinkDist(netgraph.LinkID(i)), p: powers[i]}
+	}
+	const tol = 1e-9
+	for i := range links {
+		for j := range links {
+			if links[i].d > links[j].d {
+				continue
+			}
+			if links[i].p > links[j].p*(1+tol) {
+				return false
+			}
+			si := links[i].p / math.Pow(links[i].d, prm.Alpha)
+			sj := links[j].p / math.Pow(links[j].d, prm.Alpha)
+			if si < sj*(1-tol) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+package static
+
+import (
+	"math"
+	"math/rand"
+
+	"dynsched/internal/interference"
+)
+
+// Decay is the randomized algorithm of Theorem 19, generalized to any
+// linear interference model: in each slot every pending packet transmits
+// independently with probability 1/(4·I), where I is the interference
+// measure of the *initial* request set, exactly as in the paper. It
+// delivers n requests in O(I·log n) slots with high probability — the
+// log n factor comes from the stragglers still transmitting at the
+// overly cautious rate 1/(4I) when almost nothing is left, and is what
+// Algorithm 1 (Densify) removes.
+type Decay struct {
+	// Aggressiveness divides the measure in the transmission
+	// probability p = Aggressiveness/(4·I); 1 reproduces the paper's
+	// 1/(4I). Values above 4 risk livelock.
+	Aggressiveness float64
+	// Adaptive recomputes I over the remaining requests as packets are
+	// served, an optimization outside the paper that removes the log n
+	// factor in the common case. Off by default for fidelity.
+	Adaptive bool
+	// MeasureBound, when positive, is used as the instance's measure
+	// instead of computing it from the request set — the distributed
+	// mode where nodes know only the provisioned bound J.
+	MeasureBound float64
+}
+
+var _ MeasureBounded = Decay{}
+
+// WithMeasureBound implements MeasureBounded.
+func (d Decay) WithMeasureBound(meas float64) Algorithm {
+	d.MeasureBound = meas
+	return d
+}
+
+// Name implements Algorithm.
+func (Decay) Name() string { return "decay" }
+
+// Budget implements Algorithm: c·I·ln n plus a constant tail.
+func (Decay) Budget(numLinks int, meas float64, n int) int {
+	if n == 0 {
+		return 1
+	}
+	if meas < 1 {
+		meas = 1
+	}
+	return int(math.Ceil(12*meas*math.Log(float64(n)+3))) + 32
+}
+
+// NewExecution implements Algorithm.
+func (d Decay) NewExecution(m interference.Model, reqs []Request) Execution {
+	agg := d.Aggressiveness
+	if agg <= 0 {
+		agg = 1
+	}
+	e := &decayExec{
+		model:    m,
+		reqs:     reqs,
+		pending:  newPendingSet(m.NumLinks(), reqs),
+		agg:      agg,
+		adaptive: d.Adaptive,
+	}
+	if d.MeasureBound > 0 && !d.Adaptive {
+		// Distributed mode: trust the declared bound; no global
+		// inspection of the request set.
+		e.initial = d.MeasureBound
+		if e.initial < 1 {
+			e.initial = 1
+		}
+		return e
+	}
+	e.rowSums = make([]float64, m.NumLinks())
+	// rowSums[e] = (W·R)(e) over the pending requests; kept incrementally
+	// when adaptive.
+	counts := make([]int, m.NumLinks())
+	for _, q := range reqs {
+		counts[q.Link]++
+	}
+	for link := 0; link < m.NumLinks(); link++ {
+		for l2, c := range counts {
+			if c > 0 {
+				e.rowSums[link] += m.Weight(link, l2) * float64(c)
+			}
+		}
+	}
+	e.initial = e.measure()
+	return e
+}
+
+type decayExec struct {
+	model    interference.Model
+	reqs     []Request
+	pending  *pendingSet
+	rowSums  []float64
+	agg      float64
+	adaptive bool
+	initial  float64
+}
+
+func (e *decayExec) Done() bool     { return e.pending.pending == 0 }
+func (e *decayExec) Remaining() int { return e.pending.pending }
+
+// measure returns the current interference measure, floored at 1 so the
+// transmission probability stays at most agg/4.
+func (e *decayExec) measure() float64 {
+	best := 1.0
+	for link, s := range e.rowSums {
+		if e.pending.countOn(link) == 0 {
+			continue // the measure maximizes over links with demand
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// rate returns the measure used for this slot's transmission
+// probability: the paper's fixed initial I, or the live value when the
+// adaptive optimization is on.
+func (e *decayExec) rate() float64 {
+	if e.adaptive {
+		return e.measure()
+	}
+	return e.initial
+}
+
+func (e *decayExec) Attempts(rng *rand.Rand) []int {
+	if e.pending.pending == 0 {
+		return nil
+	}
+	p := e.agg / (4 * e.rate())
+	if p > 1 {
+		p = 1
+	}
+	var out []int
+	for link := range e.pending.byLink {
+		r := e.pending.countOn(link)
+		if r == 0 {
+			continue
+		}
+		k := binomial(rng, r, p)
+		if k == 0 {
+			continue
+		}
+		// k ≥ 2 packets on one link collide; materialize at most two of
+		// them, which is enough for the model to fail the slot on that
+		// link while keeping the attempt list short.
+		if k > 2 {
+			k = 2
+		}
+		out = append(out, e.pending.pickOn(rng, link, k)...)
+	}
+	return out
+}
+
+func (e *decayExec) Observe(attempted []int, success []bool) {
+	for i, idx := range attempted {
+		if !success[i] {
+			continue
+		}
+		e.pending.remove(idx)
+		if e.adaptive {
+			link := e.reqs[idx].Link
+			for l := range e.rowSums {
+				e.rowSums[l] -= e.model.Weight(l, link)
+			}
+		}
+	}
+}
+
+// binomial samples Binomial(n, p). For the small n·p regime the
+// algorithms operate in (n·p ≤ 1/4) it walks the probability mass
+// function directly, which takes O(1) expected iterations.
+func binomial(rng *rand.Rand, n int, p float64) int {
+	if p <= 0 || n <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	u := rng.Float64()
+	// pmf(0) = (1-p)^n, then pmf(k+1) = pmf(k)·(n-k)/(k+1)·p/(1-p).
+	pmf := math.Pow(1-p, float64(n))
+	if pmf == 0 {
+		// Far outside the intended regime; fall back to per-trial draws.
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	ratio := p / (1 - p)
+	cum := pmf
+	k := 0
+	for u > cum && k < n {
+		pmf *= float64(n-k) / float64(k+1) * ratio
+		k++
+		cum += pmf
+	}
+	return k
+}

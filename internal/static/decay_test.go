@@ -1,0 +1,132 @@
+package static
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynsched/internal/interference"
+)
+
+func TestAdaptiveDecayBeatsFixedOnTail(t *testing.T) {
+	// With a single straggler-heavy workload the adaptive variant should
+	// finish no slower (usually much faster) than the paper's fixed-rate
+	// algorithm: once few packets remain, its probability rises.
+	model := interference.AllOnes{Links: 2}
+	avgSlots := func(alg Algorithm) float64 {
+		rng := rand.New(rand.NewSource(81))
+		var total float64
+		const reps = 5
+		for r := 0; r < reps; r++ {
+			reqs := requestsOn(32, 0, 1)
+			res := Run(rng, model, alg, reqs, 8*Decay{}.Budget(2, 64, 64))
+			if !res.AllServed() {
+				t.Fatalf("%s failed", alg.Name())
+			}
+			total += float64(res.Slots)
+		}
+		return total / reps
+	}
+	fixed := avgSlots(Decay{})
+	adaptive := avgSlots(Decay{Adaptive: true})
+	if adaptive > fixed*1.1 {
+		t.Errorf("adaptive decay slower than fixed: %.1f vs %.1f slots", adaptive, fixed)
+	}
+}
+
+func TestDecayFixedRateHasLogTail(t *testing.T) {
+	// The fixed-rate algorithm's last packet takes Θ(I) extra slots;
+	// with I large and only a handful of packets it is visibly slower
+	// per packet than the adaptive one. This is the scaling defect
+	// Algorithm 1 exists to fix, so pin it down.
+	model := interference.Identity{Links: 1}
+	rng := rand.New(rand.NewSource(82))
+	reqs := requestsOn(64, 0) // I = 64 on a single link
+	res := Run(rng, model, Decay{}, reqs, 0)
+	if !res.AllServed() {
+		t.Fatal("fixed decay failed")
+	}
+	// A perfect scheduler finishes in 64 slots; the fixed rate 1/(4·64)
+	// forces ≥ 4·64 expected slots just for the last packet's geometric
+	// wait. Require a clearly super-linear total.
+	if res.Slots < 2*64 {
+		t.Errorf("fixed decay finished in %d slots — too fast to be the paper's algorithm", res.Slots)
+	}
+}
+
+func TestDecayAggressivenessKnob(t *testing.T) {
+	model := interference.Identity{Links: 4}
+	rng := rand.New(rand.NewSource(83))
+	reqs := requestsOn(16, 0, 1, 2, 3)
+	res := Run(rng, model, Decay{Aggressiveness: 2}, reqs, 0)
+	if !res.AllServed() {
+		t.Fatalf("aggressive decay left %d unserved", len(reqs)-res.NumServed())
+	}
+}
+
+func TestSpreadOnWeightedModel(t *testing.T) {
+	// Spread must also work on a non-trivial W (threshold semantics).
+	n := 8
+	d := interference.NewDense("w", n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				if err := d.Set(i, j, 0.15); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(84))
+	reqs := requestsOn(12, 0, 1, 2, 3, 4, 5, 6, 7)
+	res := Run(rng, d, Spread{}, reqs, 0)
+	if !res.AllServed() {
+		t.Fatalf("spread left %d/%d unserved in %d slots",
+			len(reqs)-res.NumServed(), len(reqs), res.Slots)
+	}
+}
+
+func TestDensifyBudgetDominatedByLinearTerm(t *testing.T) {
+	// For large I the densify budget must scale ~linearly in I: check
+	// the ratio Budget(16I)/Budget(I) stays well below 16·log-factor.
+	alg := Densify{Inner: Decay{}, Chi: 8}
+	b1 := alg.Budget(16, 256, 4096)
+	b2 := alg.Budget(16, 4096, 65536)
+	ratio := float64(b2) / float64(b1)
+	if ratio > 24 {
+		t.Errorf("densify budget ratio %.1f for 16× measure — not linear in I", ratio)
+	}
+	if ratio < 4 {
+		t.Errorf("densify budget ratio %.1f suspiciously flat", ratio)
+	}
+}
+
+func TestDecayMeasureBoundDistributedMode(t *testing.T) {
+	model := interference.Identity{Links: 4}
+	reqs := requestsOn(4, 0, 1, 2, 3) // true measure 4
+	// Declared bound 16: the algorithm must not inspect the request set.
+	alg := Decay{}.WithMeasureBound(16)
+	exec := alg.NewExecution(model, reqs).(*decayExec)
+	if exec.initial != 16 {
+		t.Fatalf("distributed-mode initial measure %v, want the declared 16", exec.initial)
+	}
+	if exec.rowSums != nil {
+		t.Fatal("distributed mode inspected the request set (rowSums built)")
+	}
+	// It still delivers, just more slowly (rate 1/64 instead of 1/16).
+	rng := rand.New(rand.NewSource(85))
+	res := Run(rng, model, alg, reqs, 64*Decay{}.Budget(4, 16, len(reqs)))
+	if !res.AllServed() {
+		t.Fatalf("bounded decay served %d/%d", res.NumServed(), len(reqs))
+	}
+}
+
+func TestSpreadMeasureBound(t *testing.T) {
+	model := interference.Identity{Links: 4}
+	reqs := requestsOn(4, 0, 1, 2, 3)
+	alg := Spread{}.WithMeasureBound(32)
+	rng := rand.New(rand.NewSource(86))
+	res := Run(rng, model, alg, reqs, 64*Spread{}.Budget(4, 32, len(reqs)))
+	if !res.AllServed() {
+		t.Fatalf("bounded spread served %d/%d", res.NumServed(), len(reqs))
+	}
+}

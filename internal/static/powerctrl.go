@@ -1,0 +1,190 @@
+package static
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"dynsched/internal/interference"
+)
+
+// PowerSolver is implemented by models that can decide joint power
+// feasibility for a set of links (the power-control SINR model).
+type PowerSolver interface {
+	SolvePowers(set []int) ([]float64, bool)
+}
+
+// LinkLengther is implemented by geometric models that expose link
+// lengths, used to order links shortest-first as in [32].
+type LinkLengther interface {
+	LinkLen(e int) float64
+}
+
+// GreedyPowerControl is the centralized scheduler standing in for the
+// O(I·log n) power-control approximation of Kesselheim [32] used by
+// Corollary 14. Requests are processed shortest link first and packed
+// first-fit into slots: a request joins the earliest slot where (a) its
+// link is not yet used, (b) every member's symmetrized weight-sum stays
+// at most Threshold, and (c) — when the model can solve for powers — a
+// joint power vector exists. The resulting schedule is replayed slot by
+// slot; any residual failures are retried sequentially.
+type GreedyPowerControl struct {
+	// Threshold is the per-slot weight headroom (default 0.5).
+	Threshold float64
+}
+
+var _ Algorithm = GreedyPowerControl{}
+
+// Name implements Algorithm.
+func (GreedyPowerControl) Name() string { return "greedy-power-control" }
+
+// Budget implements Algorithm.
+func (GreedyPowerControl) Budget(numLinks int, meas float64, n int) int {
+	if n == 0 {
+		return 1
+	}
+	if meas < 1 {
+		meas = 1
+	}
+	byMeasure := int(math.Ceil(8*meas*math.Log(float64(n)+3))) + 64
+	sequential := 2*n + 8
+	if sequential < byMeasure {
+		return sequential
+	}
+	return byMeasure
+}
+
+func (g GreedyPowerControl) threshold() float64 {
+	if g.Threshold <= 0 {
+		return 0.5
+	}
+	return g.Threshold
+}
+
+// NewExecution implements Algorithm. The schedule is computed eagerly —
+// the algorithm is centralized by design (Corollary 14 notes no
+// distributed counterpart is known).
+func (g GreedyPowerControl) NewExecution(m interference.Model, reqs []Request) Execution {
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	if ll, ok := m.(LinkLengther); ok {
+		sort.SliceStable(order, func(a, b int) bool {
+			return ll.LinkLen(reqs[order[a]].Link) < ll.LinkLen(reqs[order[b]].Link)
+		})
+	}
+	solver, _ := m.(PowerSolver)
+	thr := g.threshold()
+	var slots [][]int // request indices per slot
+	var slotLinks []map[int]bool
+	fits := func(s int, link int) bool {
+		if slotLinks[s][link] {
+			return false
+		}
+		members := make([]int, 0, len(slots[s])+1)
+		for _, ri := range slots[s] {
+			members = append(members, reqs[ri].Link)
+		}
+		members = append(members, link)
+		for _, e := range members {
+			sum := 0.0
+			for _, e2 := range members {
+				if e2 == e {
+					continue
+				}
+				w := m.Weight(e, e2)
+				if w2 := m.Weight(e2, e); w2 > w {
+					w = w2
+				}
+				sum += w
+			}
+			if sum > thr {
+				return false
+			}
+		}
+		if solver != nil {
+			if _, ok := solver.SolvePowers(members); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for _, ri := range order {
+		placed := false
+		for s := range slots {
+			if fits(s, reqs[ri].Link) {
+				slots[s] = append(slots[s], ri)
+				slotLinks[s][reqs[ri].Link] = true
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			slots = append(slots, []int{ri})
+			slotLinks = append(slotLinks, map[int]bool{reqs[ri].Link: true})
+		}
+	}
+	return &replayExec{plan: slots, served: make([]bool, len(reqs)), remaining: len(reqs)}
+}
+
+// replayExec plays a precomputed schedule, then retries failures one at
+// a time.
+type replayExec struct {
+	plan      [][]int
+	slot      int
+	served    []bool
+	remaining int
+	retry     []int
+}
+
+func (e *replayExec) Done() bool     { return e.remaining == 0 }
+func (e *replayExec) Remaining() int { return e.remaining }
+
+func (e *replayExec) Attempts(rng *rand.Rand) []int {
+	for e.slot < len(e.plan) {
+		var out []int
+		for _, ri := range e.plan[e.slot] {
+			if !e.served[ri] {
+				out = append(out, ri)
+			}
+		}
+		e.slot++
+		if len(out) > 0 {
+			return out
+		}
+	}
+	// Retry phase: one request per slot.
+	for len(e.retry) > 0 {
+		ri := e.retry[0]
+		e.retry = e.retry[1:]
+		if !e.served[ri] {
+			return []int{ri}
+		}
+	}
+	// Refill the retry queue with whatever is still unserved.
+	for ri, s := range e.served {
+		if !s {
+			e.retry = append(e.retry, ri)
+		}
+	}
+	if len(e.retry) == 0 {
+		return nil
+	}
+	ri := e.retry[0]
+	e.retry = e.retry[1:]
+	return []int{ri}
+}
+
+func (e *replayExec) Observe(attempted []int, success []bool) {
+	for i, ri := range attempted {
+		if success[i] {
+			if !e.served[ri] {
+				e.served[ri] = true
+				e.remaining--
+			}
+		} else {
+			e.retry = append(e.retry, ri)
+		}
+	}
+}

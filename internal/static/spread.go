@@ -1,0 +1,173 @@
+package static
+
+import (
+	"math"
+	"math/rand"
+
+	"dynsched/internal/interference"
+)
+
+// Spread is a delay-spreading algorithm in the style of Fanghänel,
+// Kesselheim and Vöcking [21], the O(I + log²n) algorithm the paper uses
+// for linear power assignments (Corollary 12). It proceeds in geometric
+// rounds: round i spans ⌈c·I/2^i⌉ slots, every pending request picks one
+// of them uniformly at random and transmits exactly then. The expected
+// per-slot interference inside a round is a small constant, so a
+// constant fraction of requests succeeds per round and the residual
+// measure halves. Once the residual measure is constant, a decay-style
+// tail finishes the stragglers in O(log n) slots. The total length is
+// O(I + log n·log I) — linear in I with a poly-logarithmic tail, which
+// is the contract the dynamic transformation needs.
+type Spread struct {
+	// SlotsPerUnit is the constant c: round i has ⌈c·I/2^i⌉ slots.
+	// Larger values give sparser rounds (higher per-attempt success,
+	// longer schedules). 0 means the default of 4.
+	SlotsPerUnit float64
+	// MeasureBound, when positive, seeds the round schedule with this
+	// declared bound instead of measuring the request set — the
+	// distributed mode where nodes know only the provisioned J.
+	MeasureBound float64
+}
+
+var _ MeasureBounded = Spread{}
+
+// WithMeasureBound implements MeasureBounded.
+func (s Spread) WithMeasureBound(meas float64) Algorithm {
+	s.MeasureBound = meas
+	return s
+}
+
+// Name implements Algorithm.
+func (Spread) Name() string { return "spread" }
+
+func (s Spread) slotsPerUnit() float64 {
+	if s.SlotsPerUnit <= 0 {
+		return 4
+	}
+	return s.SlotsPerUnit
+}
+
+// Budget implements Algorithm: the geometric rounds sum to at most
+// 2c·I + rounds, and the tail is O(log n).
+func (s Spread) Budget(numLinks int, meas float64, n int) int {
+	if n == 0 {
+		return 1
+	}
+	if meas < 1 {
+		meas = 1
+	}
+	c := s.slotsPerUnit()
+	rounds := math.Ceil(math.Log2(meas)) + 1
+	tail := 48*math.Log(float64(n)+3) + 32
+	return int(math.Ceil(2*c*meas+c*rounds)) + int(math.Ceil(tail))
+}
+
+// NewExecution implements Algorithm.
+func (s Spread) NewExecution(m interference.Model, reqs []Request) Execution {
+	meas := s.MeasureBound
+	if meas <= 0 {
+		meas = RequestMeasure(m, reqs)
+	}
+	e := &spreadExec{
+		model:     m,
+		reqs:      reqs,
+		pending:   newPendingSet(m.NumLinks(), reqs),
+		c:         s.slotsPerUnit(),
+		roundMeas: meas,
+		delays:    make([]int, len(reqs)),
+	}
+	return e
+}
+
+type spreadExec struct {
+	model   interference.Model
+	reqs    []Request
+	pending *pendingSet
+	c       float64
+
+	roundMeas float64 // target residual measure of the current round
+	roundLen  int     // slots in the current round, 0 before assignment
+	slot      int     // next slot offset within the current round
+	delays    []int   // request index → chosen slot in current round
+	inTail    bool
+	tailP     float64
+}
+
+func (e *spreadExec) Done() bool     { return e.pending.pending == 0 }
+func (e *spreadExec) Remaining() int { return e.pending.pending }
+
+// startRound assigns fresh uniform delays to all pending requests, or
+// switches to the tail phase once the target measure is constant.
+func (e *spreadExec) startRound(rng *rand.Rand) {
+	const tailMeasure = 2
+	if e.roundMeas <= tailMeasure {
+		e.inTail = true
+		e.tailP = 1.0 / 8
+		return
+	}
+	e.roundLen = int(math.Ceil(e.c * e.roundMeas))
+	e.slot = 0
+	for link := range e.pending.byLink {
+		for _, idx := range e.pending.byLink[link] {
+			e.delays[idx] = rng.Intn(e.roundLen)
+		}
+	}
+}
+
+func (e *spreadExec) Attempts(rng *rand.Rand) []int {
+	if e.pending.pending == 0 {
+		return nil
+	}
+	if !e.inTail && e.slot >= e.roundLen {
+		// Round exhausted (or never started): halve the target and restart.
+		if e.roundLen > 0 {
+			e.roundMeas /= 2
+		}
+		e.startRound(rng)
+	}
+	if e.inTail {
+		return e.tailAttempts(rng)
+	}
+	var out []int
+	for link := range e.pending.byLink {
+		var onLink []int
+		for _, idx := range e.pending.byLink[link] {
+			if e.delays[idx] == e.slot {
+				onLink = append(onLink, idx)
+				if len(onLink) == 2 {
+					break // two are enough to register the collision
+				}
+			}
+		}
+		out = append(out, onLink...)
+	}
+	e.slot++
+	return out
+}
+
+func (e *spreadExec) tailAttempts(rng *rand.Rand) []int {
+	var out []int
+	for link := range e.pending.byLink {
+		r := e.pending.countOn(link)
+		if r == 0 {
+			continue
+		}
+		k := binomial(rng, r, e.tailP)
+		if k == 0 {
+			continue
+		}
+		if k > 2 {
+			k = 2
+		}
+		out = append(out, e.pending.pickOn(rng, link, k)...)
+	}
+	return out
+}
+
+func (e *spreadExec) Observe(attempted []int, success []bool) {
+	for i, idx := range attempted {
+		if success[i] {
+			e.pending.remove(idx)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package static
+
+import (
+	"math/rand"
+
+	"dynsched/internal/interference"
+)
+
+// Trivial serves requests one at a time in round-robin order. It is the
+// fallback that works in every interference model (a lone transmission
+// always succeeds when noise permits) and the building block of the
+// multiple-access-channel baseline: schedule length exactly n.
+type Trivial struct{}
+
+var _ Algorithm = Trivial{}
+
+// Name implements Algorithm.
+func (Trivial) Name() string { return "trivial" }
+
+// Budget implements Algorithm: one slot per request plus retries.
+func (Trivial) Budget(numLinks int, meas float64, n int) int {
+	if n == 0 {
+		return 1
+	}
+	return 2*n + 8
+}
+
+// NewExecution implements Algorithm.
+func (Trivial) NewExecution(m interference.Model, reqs []Request) Execution {
+	return &trivialExec{n: len(reqs), served: make([]bool, len(reqs))}
+}
+
+type trivialExec struct {
+	n      int
+	next   int
+	served []bool
+	left   int
+	init   bool
+}
+
+func (e *trivialExec) Done() bool {
+	if !e.init {
+		return e.n == 0
+	}
+	return e.left == 0
+}
+
+func (e *trivialExec) Remaining() int {
+	if !e.init {
+		return e.n
+	}
+	return e.left
+}
+
+func (e *trivialExec) Attempts(rng *rand.Rand) []int {
+	if !e.init {
+		e.left = e.n
+		e.init = true
+	}
+	if e.left == 0 {
+		return nil
+	}
+	for i := 0; i < e.n; i++ {
+		idx := (e.next + i) % e.n
+		if !e.served[idx] {
+			e.next = (idx + 1) % e.n
+			return []int{idx}
+		}
+	}
+	return nil
+}
+
+func (e *trivialExec) Observe(attempted []int, success []bool) {
+	for i, idx := range attempted {
+		if success[i] && !e.served[idx] {
+			e.served[idx] = true
+			e.left--
+		}
+	}
+}
+
+// FullParallel fires the head-of-line request of every link in every
+// slot. It is the optimal algorithm for the packet-routing (identity)
+// model, where the schedule length equals the congestion I, and serves
+// as the single-hop algorithm behind the λ < 1 packet-routing protocol
+// of Section 7.
+type FullParallel struct{}
+
+var _ Algorithm = FullParallel{}
+
+// Name implements Algorithm.
+func (FullParallel) Name() string { return "full-parallel" }
+
+// Budget implements Algorithm: congestion many slots, with slack for
+// models that are not exactly the identity.
+func (FullParallel) Budget(numLinks int, meas float64, n int) int {
+	if meas < 1 {
+		meas = 1
+	}
+	return int(meas) + 4
+}
+
+// NewExecution implements Algorithm.
+func (FullParallel) NewExecution(m interference.Model, reqs []Request) Execution {
+	return &fullParallelExec{pending: newPendingSet(m.NumLinks(), reqs)}
+}
+
+type fullParallelExec struct {
+	pending *pendingSet
+}
+
+func (e *fullParallelExec) Done() bool     { return e.pending.pending == 0 }
+func (e *fullParallelExec) Remaining() int { return e.pending.pending }
+
+func (e *fullParallelExec) Attempts(rng *rand.Rand) []int {
+	var out []int
+	for link := range e.pending.byLink {
+		if n := e.pending.countOn(link); n > 0 {
+			// Head of line: the first pending index on the link.
+			out = append(out, e.pending.byLink[link][0])
+		}
+	}
+	return out
+}
+
+func (e *fullParallelExec) Observe(attempted []int, success []bool) {
+	for i, idx := range attempted {
+		if success[i] {
+			e.pending.remove(idx)
+		}
+	}
+}

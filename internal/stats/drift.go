@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DriftEstimator reproduces the paper's Lyapunov argument empirically:
+// feed it the potential Φ sampled once per time frame and it estimates
+// the conditional drift E[ΔΦ | Φ ∈ bucket]. Lemmas 4–7 prove the drift
+// is negative whenever Φ > 0, which is what makes the protocol's Markov
+// chain ergodic; Estimate lets experiments check exactly that.
+type DriftEstimator struct {
+	prev    float64
+	started bool
+	// transitions[i] aggregates ΔΦ observed from states in bucket i.
+	buckets []float64 // bucket upper bounds (last = +inf)
+	sums    []float64
+	counts  []int64
+}
+
+// NewDriftEstimator creates an estimator with the given bucket upper
+// bounds (ascending); an implicit overflow bucket is appended.
+func NewDriftEstimator(bounds ...float64) *DriftEstimator {
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	return &DriftEstimator{
+		buckets: sorted,
+		sums:    make([]float64, len(sorted)+1),
+		counts:  make([]int64, len(sorted)+1),
+	}
+}
+
+// Observe records the next potential sample.
+func (d *DriftEstimator) Observe(phi float64) {
+	if d.started {
+		i := d.bucketOf(d.prev)
+		d.sums[i] += phi - d.prev
+		d.counts[i]++
+	}
+	d.prev = phi
+	d.started = true
+}
+
+func (d *DriftEstimator) bucketOf(phi float64) int {
+	for i, ub := range d.buckets {
+		if phi <= ub {
+			return i
+		}
+	}
+	return len(d.buckets)
+}
+
+// Drift returns the estimated mean ΔΦ from states in bucket i and the
+// number of observations backing it.
+func (d *DriftEstimator) Drift(i int) (mean float64, n int64) {
+	if i < 0 || i >= len(d.sums) || d.counts[i] == 0 {
+		return 0, 0
+	}
+	return d.sums[i] / float64(d.counts[i]), d.counts[i]
+}
+
+// NumBuckets returns the bucket count including the overflow bucket.
+func (d *DriftEstimator) NumBuckets() int { return len(d.sums) }
+
+// NegativeAboveZero reports whether every bucket that excludes Φ = 0
+// and has at least minSamples observations shows non-positive drift —
+// the empirical ergodicity check. Buckets with too few samples are
+// skipped (they carry no evidence either way).
+func (d *DriftEstimator) NegativeAboveZero(minSamples int64) bool {
+	for i := range d.sums {
+		if i == 0 && len(d.buckets) > 0 && d.buckets[0] == 0 {
+			continue // the Φ = 0 bucket may drift upward (arrivals)
+		}
+		if d.counts[i] < minSamples {
+			continue
+		}
+		if d.sums[i]/float64(d.counts[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats the per-bucket drifts.
+func (d *DriftEstimator) String() string {
+	var b strings.Builder
+	lo := "-inf"
+	for i := range d.sums {
+		hi := "+inf"
+		if i < len(d.buckets) {
+			hi = fmt.Sprintf("%g", d.buckets[i])
+		}
+		mean, n := d.Drift(i)
+		fmt.Fprintf(&b, "Φ∈(%s,%s]: drift %.3f (n=%d)  ", lo, hi, mean, n)
+		lo = hi
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Series is a time series of (t, value) samples, typically queue lengths
+// sampled during a simulation. It supports the linear-regression slope
+// test used to classify a run as stable or unstable.
+type Series struct {
+	T []float64
+	V []float64
+}
+
+// Append adds one sample.
+func (s *Series) Append(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.T) }
+
+// Tail returns the sub-series containing the last fraction frac of the
+// samples (by count). frac is clamped to (0, 1].
+func (s *Series) Tail(frac float64) *Series {
+	if frac <= 0 {
+		frac = 1e-9
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	start := len(s.T) - int(math.Ceil(frac*float64(len(s.T))))
+	if start < 0 {
+		start = 0
+	}
+	return &Series{T: s.T[start:], V: s.V[start:]}
+}
+
+// MeanV returns the mean of the values.
+func (s *Series) MeanV() float64 { return Mean(s.V) }
+
+// MaxV returns the maximum of the values.
+func (s *Series) MaxV() float64 { return Max(s.V) }
+
+// WriteCSV writes the series as two-column CSV with the given headers.
+func (s *Series) WriteCSV(w io.Writer, tName, vName string) error {
+	if _, err := fmt.Fprintf(w, "%s,%s\n", tName, vName); err != nil {
+		return err
+	}
+	for i := range s.T {
+		if _, err := fmt.Fprintf(w, "%g,%g\n", s.T[i], s.V[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fit holds an ordinary-least-squares line fit v ≈ Slope·t + Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit computes the OLS fit of the series. A degenerate series
+// (fewer than two points, or zero time variance) yields a zero fit.
+func (s *Series) LinearFit() Fit {
+	n := float64(len(s.T))
+	if n < 2 {
+		return Fit{}
+	}
+	mt := Mean(s.T)
+	mv := Mean(s.V)
+	var sxx, sxy, syy float64
+	for i := range s.T {
+		dt := s.T[i] - mt
+		dv := s.V[i] - mv
+		sxx += dt * dt
+		sxy += dt * dv
+		syy += dv * dv
+	}
+	if sxx == 0 {
+		return Fit{Intercept: mv}
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: mv - slope*mt}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // constant series perfectly fit by horizontal line
+	}
+	return fit
+}
+
+// StabilityVerdict classifies a queue-length series. A run is judged
+// unstable when the queue keeps growing over the second half of the run:
+// the fitted slope over the tail, multiplied by the tail duration,
+// exceeds both an absolute floor and a fraction of the tail mean.
+type StabilityVerdict struct {
+	Stable    bool
+	TailMean  float64
+	TailSlope float64
+	Growth    float64 // slope × tail duration, in queue-length units
+}
+
+// Stability classifies the series using its second half.
+func (s *Series) Stability() StabilityVerdict {
+	tail := s.Tail(0.5)
+	v := StabilityVerdict{TailMean: tail.MeanV()}
+	if tail.Len() < 2 {
+		v.Stable = true
+		return v
+	}
+	fit := tail.LinearFit()
+	dur := tail.T[tail.Len()-1] - tail.T[0]
+	v.TailSlope = fit.Slope
+	v.Growth = fit.Slope * dur
+	// Growing by more than half the tail mean — and by at least a
+	// handful of packets in absolute terms, so sampling noise on
+	// near-empty queues cannot trip the detector — indicates a queue
+	// that does not stabilise.
+	v.Stable = !(v.Growth > 5 && v.Growth > 0.5*v.TailMean)
+	return v
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLinearFitRecoversLine(t *testing.T) {
+	var s Series
+	for i := 0; i < 100; i++ {
+		s.Append(float64(i), 3*float64(i)+7)
+	}
+	fit := s.LinearFit()
+	if !almostEq(fit.Slope, 3, 1e-9) {
+		t.Errorf("slope = %v, want 3", fit.Slope)
+	}
+	if !almostEq(fit.Intercept, 7, 1e-9) {
+		t.Errorf("intercept = %v, want 7", fit.Intercept)
+	}
+	if !almostEq(fit.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	var empty Series
+	if fit := empty.LinearFit(); fit.Slope != 0 || fit.Intercept != 0 {
+		t.Errorf("empty fit = %+v, want zero", fit)
+	}
+	var vertical Series
+	vertical.Append(5, 1)
+	vertical.Append(5, 3)
+	if fit := vertical.LinearFit(); fit.Slope != 0 || !almostEq(fit.Intercept, 2, 1e-12) {
+		t.Errorf("vertical fit = %+v, want slope 0 intercept 2", fit)
+	}
+	var constant Series
+	for i := 0; i < 10; i++ {
+		constant.Append(float64(i), 4)
+	}
+	if fit := constant.LinearFit(); !almostEq(fit.R2, 1, 1e-12) {
+		t.Errorf("constant series R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestTail(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), float64(i))
+	}
+	tail := s.Tail(0.5)
+	if tail.Len() != 5 {
+		t.Fatalf("tail length %d, want 5", tail.Len())
+	}
+	if tail.T[0] != 5 {
+		t.Errorf("tail starts at %v, want 5", tail.T[0])
+	}
+	if full := s.Tail(2); full.Len() != 10 {
+		t.Errorf("clamped tail length %d, want 10", full.Len())
+	}
+}
+
+func TestStabilityVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+
+	// Flat noisy queue: stable.
+	var flat Series
+	for i := 0; i < 200; i++ {
+		flat.Append(float64(i*100), 50+10*rng.Float64())
+	}
+	if v := flat.Stability(); !v.Stable {
+		t.Errorf("flat series judged unstable: %+v", v)
+	}
+
+	// Linearly growing queue: unstable.
+	var growing Series
+	for i := 0; i < 200; i++ {
+		growing.Append(float64(i*100), float64(i)*2+5*rng.Float64())
+	}
+	if v := growing.Stability(); v.Stable {
+		t.Errorf("growing series judged stable: %+v", v)
+	}
+
+	// Transient spike that drains: stable.
+	var spike Series
+	for i := 0; i < 200; i++ {
+		q := 0.0
+		if i < 50 {
+			q = float64(50 - i)
+		}
+		spike.Append(float64(i*100), q+rng.Float64())
+	}
+	if v := spike.Stability(); !v.Stable {
+		t.Errorf("draining series judged unstable: %+v", v)
+	}
+
+	// Tiny series: stable by default.
+	var tiny Series
+	tiny.Append(0, 3)
+	if v := tiny.Stability(); !v.Stable {
+		t.Errorf("tiny series judged unstable: %+v", v)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 10)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d, want 100", h.N())
+	}
+	if !almostEq(h.Mean(), 50.5, 1e-9) {
+		t.Errorf("Mean = %v, want 50.5", h.Mean())
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max = %v, want 100", h.Max())
+	}
+	med := h.Quantile(0.5)
+	if med < 40 || med > 60 {
+		t.Errorf("median estimate %v outside [40,60]", med)
+	}
+	// Overflow handling.
+	h.Add(1e9)
+	if q := h.Quantile(1); q != 1e9 {
+		t.Errorf("overflow quantile = %v, want 1e9", q)
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(0, 10) should panic")
+		}
+	}()
+	NewHistogram(0, 10)
+}
+
+func TestWriteCSV(t *testing.T) {
+	var s Series
+	s.Append(1, 2.5)
+	s.Append(2, 3)
+	var b strings.Builder
+	if err := s.WriteCSV(&b, "slot", "queue"); err != nil {
+		t.Fatal(err)
+	}
+	want := "slot,queue\n1,2.5\n2,3\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}

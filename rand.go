@@ -1,0 +1,6 @@
+package dynsched
+
+import "math/rand"
+
+// newRand builds a seeded random source for the convenience wrappers.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,66 @@
+package dynsched
+
+import (
+	"testing"
+)
+
+// TestScale is the sized-up integration check: a 128-link SINR network
+// under the full dynamic protocol for dozens of frames. It guards
+// against accidental quadratic blow-ups in the slot path — the run
+// should take seconds, not minutes. Skipped in -short mode.
+func TestScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in short mode")
+	}
+	const m = 128
+	g := NewGraph(2 * m)
+	pts := make([]Point, 2*m)
+	rng := newRand(31)
+	for i := 0; i < m; i++ {
+		s := Point{X: rng.Float64() * 120, Y: rng.Float64() * 120}
+		pts[2*i] = s
+		pts[2*i+1] = Point{X: s.X + 1 + rng.Float64()*3, Y: s.Y}
+	}
+	if err := g.SetPositions(pts); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		g.MustAddLink(NodeID(2*i), NodeID(2*i+1))
+	}
+	prm := DefaultSINRParams()
+	powers, err := SINRPowers(g, prm, PowerLinear, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewSINRFixedPower(g, prm, powers, WeightAffectance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lambda = 0.06
+	proc, err := TrafficSingleHop(model, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewProtocol(ProtocolConfig{
+		Model: model, Alg: Spread{}, M: m, Lambda: lambda, Eps: 0.25, Seed: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := 25 * int64(proto.Sizing().T)
+	res, err := Simulate(SimConfig{Slots: slots, Seed: 33}, model, proc, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProtocolErrors != 0 {
+		t.Fatalf("%d protocol errors at scale", res.ProtocolErrors)
+	}
+	if !res.Verdict.Stable {
+		t.Errorf("scale run unstable: %+v", res.Verdict)
+	}
+	if res.Delivered+res.InFlight != res.Injected {
+		t.Fatal("conservation violated at scale")
+	}
+	t.Logf("scale: %d links, %d slots, %d packets, queue mean %.0f",
+		m, res.Slots, res.Injected, res.Queue.MeanV())
+}
