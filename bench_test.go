@@ -80,6 +80,49 @@ func BenchmarkMeasure64Links(b *testing.B) {
 	}
 }
 
+// weightOnlyModel hides a model's fast-path extensions (RowsProvider,
+// SlotResolver), forcing the generic O(E²) Weight-call evaluation — the
+// pre-sparse baseline the CSR path is measured against.
+type weightOnlyModel struct{ m interference.Model }
+
+func (w weightOnlyModel) Name() string              { return w.m.Name() + "-dense" }
+func (w weightOnlyModel) NumLinks() int             { return w.m.NumLinks() }
+func (w weightOnlyModel) Weight(e, e2 int) float64  { return w.m.Weight(e, e2) }
+func (w weightOnlyModel) Successes(tx []int) []bool { return w.m.Successes(tx) }
+
+func BenchmarkMeasure64LinksDense(b *testing.B) {
+	m := weightOnlyModel{benchSINRModel(b, 64)}
+	r := make([]int, 64)
+	for i := range r {
+		r[i] = i % 5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		interference.Measure(m, r)
+	}
+}
+
+// BenchmarkIncrementalMeasure64 slides a 64-request window one request
+// at a time — the adversary checker's access pattern. Each step is one
+// Remove, one Add, and one Measure read, O(nnz(column)) apiece, versus
+// a full ‖W·R‖∞ recomputation per step for the dense baseline.
+func BenchmarkIncrementalMeasure64(b *testing.B) {
+	m := benchSINRModel(b, 64)
+	im := interference.NewIncremental(m)
+	for e := 0; e < 64; e++ {
+		im.Add(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := i % 64
+		im.Remove(e)
+		im.Add(e)
+		if im.Measure() <= 0 {
+			b.Fatal("measure vanished")
+		}
+	}
+}
+
 func BenchmarkSINRSuccesses16Tx(b *testing.B) {
 	m := benchSINRModel(b, 64)
 	tx := make([]int, 16)

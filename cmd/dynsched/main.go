@@ -1,6 +1,9 @@
 // Command dynsched runs a single configurable simulation of the dynamic
 // scheduling protocol and prints the run's metrics. It is the
 // exploration tool; cmd/experiments reproduces the paper's tables.
+// With -reps R the run is replicated R times with derived sub-seeds on
+// a -parallel N worker pool, and the across-replication statistics are
+// printed; the numbers are bit-identical for every N.
 //
 // Examples:
 //
@@ -9,6 +12,7 @@
 //	dynsched -model mac -links 8 -alg rrw -lambda 0.7
 //	dynsched -model sinr-uniform -links 16 -lambda 0.03 -adversary burst -window 64
 //	dynsched -model identity -lambda 0.4 -queue-csv queue.csv
+//	dynsched -model sinr-linear -links 32 -lambda 0.06 -reps 16 -parallel 8
 package main
 
 import (
@@ -26,6 +30,8 @@ func main() {
 		o        cli.Options
 		slots    int64
 		queueCSV string
+		reps     int
+		parallel int
 	)
 	flag.StringVar(&o.Model, "model", "identity", "interference model: identity, mac, sinr-linear, sinr-uniform, sinr-power-control")
 	flag.StringVar(&o.Topology, "topology", "auto", "topology: line, grid, pairs, nested, mac, auto")
@@ -41,6 +47,8 @@ func main() {
 	flag.IntVar(&o.Window, "window", 64, "adversary window length w")
 	flag.Float64Var(&o.LossP, "loss", 0, "independent per-transmission loss probability")
 	flag.StringVar(&queueCSV, "queue-csv", "", "write the sampled queue-length series to this CSV file")
+	flag.IntVar(&reps, "reps", 1, "independent replications with derived sub-seeds (1 = single run)")
+	flag.IntVar(&parallel, "parallel", 0, "worker count for -reps (0 = all CPUs, 1 = serial); results are bit-identical either way")
 	spec := flag.String("spec", "", "JSON run specification; file values override flags")
 	flag.Parse()
 
@@ -57,10 +65,64 @@ func main() {
 		}
 	}
 
+	if reps > 1 {
+		if queueCSV != "" {
+			fmt.Fprintln(os.Stderr, "dynsched: -queue-csv records a single run's series; it cannot be combined with -reps")
+			os.Exit(2)
+		}
+		if err := runReplicated(o, slots, reps, parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "dynsched:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(o, slots, queueCSV); err != nil {
 		fmt.Fprintln(os.Stderr, "dynsched:", err)
 		os.Exit(1)
 	}
+}
+
+// runReplicated fans `reps` independent runs across the worker pool and
+// prints per-replication lines plus the across-replication summary.
+func runReplicated(o cli.Options, slots int64, reps, parallel int) error {
+	var name, procName string
+	res, err := sim.Replicate(
+		sim.Config{Slots: slots, Seed: o.Seed, WarmupFrac: 0.1, Parallel: parallel},
+		reps,
+		func(rep int, seed int64) (sim.RunInput, error) {
+			ro := o
+			ro.Seed = seed
+			w, err := cli.Build(ro)
+			if err != nil {
+				return sim.RunInput{}, err
+			}
+			if rep == 0 {
+				name, procName = w.Protocol.Name(), w.Process.Name()
+			}
+			return sim.RunInput{Model: w.Model, Process: w.Process, Protocol: w.Protocol}, nil
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol:    %s  injection: %s  λ=%.4f\n", name, procName, o.Lambda)
+	fmt.Printf("runs:        %d × %d slots, %d workers\n", reps, slots, sim.Workers(parallel, reps))
+	fmt.Printf("%4s  %20s  %10s  %10s  %10s  %s\n", "rep", "seed", "mean queue", "max queue", "mean lat", "verdict")
+	for _, r := range res.Runs {
+		verdict := "stable"
+		if !r.Stable {
+			verdict = "UNSTABLE"
+		}
+		fmt.Printf("%4d  %20d  %10.1f  %10.1f  %10.1f  %s\n",
+			r.Rep, sim.SubSeed(o.Seed, r.Rep), r.MeanQ, r.MaxQ, r.MeanLat, verdict)
+	}
+	fmt.Printf("queue:       mean %.2f ± %.2f across replications\n", res.MeanQ.Mean(), res.MeanQ.Std())
+	fmt.Printf("latency:     mean %.2f ± %.2f across replications\n", res.MeanLat.Mean(), res.MeanLat.Std())
+	verdict := "STABLE"
+	if !res.StableAll {
+		verdict = "UNSTABLE (at least one replication)"
+	}
+	fmt.Printf("verdict:     %s\n", verdict)
+	return nil
 }
 
 func run(o cli.Options, slots int64, queueCSV string) error {

@@ -1,10 +1,12 @@
 // Command experiments reproduces the paper's results: it runs the
-// experiment suite E1–E10 (see DESIGN.md for the index) and prints one
+// experiment suite E1–E14 (see DESIGN.md for the index) and prints one
 // table per experiment. Use -markdown to emit the EXPERIMENTS.md body.
+// -parallel N fans independent experiments across N workers; the tables
+// are bit-identical to a serial run at the same seed.
 //
 // Usage:
 //
-//	experiments [-scale quick|full] [-seed N] [-only E5] [-markdown]
+//	experiments [-scale quick|full] [-seed N] [-only E5] [-markdown] [-parallel N]
 package main
 
 import (
@@ -13,7 +15,6 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"sync"
 	"time"
 
 	"dynsched/internal/experiments"
@@ -25,7 +26,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by ID (e.g. E3)")
 	markdown := flag.Bool("markdown", false, "emit markdown instead of aligned text")
 	csvDir := flag.String("csvdir", "", "also write one CSV file per experiment into this directory")
-	parallel := flag.Bool("parallel", false, "run experiments concurrently (ordered output)")
+	parallel := flag.Int("parallel", 1, "worker count for concurrent experiments (0 = all CPUs, 1 = serial); output is ordered and bit-identical either way")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -49,35 +50,11 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 
-	type outcome struct {
-		tbl     *experiments.Table
-		err     error
-		elapsed time.Duration
-	}
-	results := make([]outcome, len(runners))
-	if *parallel {
-		var wg sync.WaitGroup
-		for i, r := range runners {
-			wg.Add(1)
-			go func(i int, r experiments.Runner) {
-				defer wg.Done()
-				start := time.Now()
-				tbl, err := r.Run(scale, *seed)
-				results[i] = outcome{tbl: tbl, err: err, elapsed: time.Since(start)}
-			}(i, r)
-		}
-		wg.Wait()
-	} else {
-		for i, r := range runners {
-			start := time.Now()
-			tbl, err := r.Run(scale, *seed)
-			results[i] = outcome{tbl: tbl, err: err, elapsed: time.Since(start)}
-		}
-	}
+	results := experiments.RunAll(runners, scale, *seed, *parallel)
 
 	failed := false
 	for i, r := range runners {
-		tbl, err := results[i].tbl, results[i].err
+		tbl, err := results[i].Table, results[i].Err
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s (%s) failed: %v\n", r.ID, r.Name, err)
 			failed = true
@@ -87,7 +64,7 @@ func main() {
 			fmt.Println(tbl.Markdown())
 		} else {
 			fmt.Println(tbl.Format())
-			fmt.Printf("(%s in %v)\n\n", r.ID, results[i].elapsed.Round(time.Millisecond))
+			fmt.Printf("(%s in %v)\n\n", r.ID, results[i].Elapsed.Round(time.Millisecond))
 		}
 		if *csvDir != "" {
 			name := filepath.Join(*csvDir, strings.ToLower(r.ID)+".csv")

@@ -116,8 +116,26 @@ type MAC = interference.AllOnes
 // Lossy wraps a model with independent per-transmission loss.
 type Lossy = interference.Lossy
 
-// Measure returns I = ‖W·R‖∞ for a request vector.
+// Measure returns I = ‖W·R‖∞ for a request vector. Models that expose
+// their matrix in CSR form (SparseWeights) are evaluated in O(nnz).
 func Measure(m Model, r []int) float64 { return interference.Measure(m, r) }
+
+// SparseWeights is a CSR (compressed sparse row) weight matrix — the
+// flat-array fast path behind Measure and IncrementalMeasure.
+type SparseWeights = interference.Sparse
+
+// WeightRows extracts a model's weight matrix in CSR form (returned
+// directly when the model precomputes it).
+func WeightRows(m Model) *SparseWeights { return interference.SparseFromModel(m) }
+
+// IncrementalMeasure maintains ‖W·R‖∞ under single-request Add/Remove
+// updates in O(nnz(column)) per update — the sliding-window accountant
+// for callers that mutate a request vector one packet at a time.
+type IncrementalMeasure = interference.IncrementalMeasure
+
+// NewIncrementalMeasure builds an incremental measure accumulator for
+// the model, starting from the empty request vector.
+func NewIncrementalMeasure(m Model) *IncrementalMeasure { return interference.NewIncremental(m) }
 
 // SINRParams are the physical constants of the SINR model.
 type SINRParams = sinr.Params
@@ -429,8 +447,14 @@ type ReplicateInput = sim.RunInput
 // ReplicateResult aggregates independent replications.
 type ReplicateResult = sim.ReplicateResult
 
-// Replicate runs independent replications in parallel with distinct
-// seeds and aggregates the headline metrics.
+// Replicate runs independent replications on a worker pool of
+// cfg.Parallel goroutines (0 = GOMAXPROCS) with distinct derived seeds
+// and aggregates the headline metrics. Results are bit-identical for
+// every pool size.
 func Replicate(cfg SimConfig, reps int, build func(rep int, seed int64) (ReplicateInput, error)) (*ReplicateResult, error) {
 	return sim.Replicate(cfg, reps, build)
 }
+
+// SubSeed derives the seed of shard i from a base seed via a SplitMix64
+// step — well-separated deterministic streams for parallel shards.
+func SubSeed(base int64, shard int) int64 { return sim.SubSeed(base, shard) }

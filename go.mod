@@ -1,0 +1,3 @@
+module dynsched
+
+go 1.21

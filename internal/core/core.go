@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"dynsched/internal/inject"
@@ -185,6 +186,16 @@ type Protocol struct {
 	frameHead  int
 	frameCount int
 	curFrame   FrameStat
+
+	// Per-slot scratch, reused across calls (the simulator does not
+	// retain the slices Slot and Feedback hand around).
+	txScratch  []sim.Transmission
+	idxScratch []int
+	okScratch  []bool
+	// memberScratch backs the per-frame main-phase member list; it is
+	// only ever read through execPkts, which buildExec repoints every
+	// phase before the scratch is reused.
+	memberScratch []*pkt
 }
 
 // FrameStat summarises one frame of protocol activity.
@@ -366,26 +377,35 @@ func (p *Protocol) Slot(t int64, rng *rand.Rand) []sim.Transmission {
 		return nil
 	}
 	attempts := p.exec.Attempts(rng)
-	out := make([]sim.Transmission, 0, len(attempts))
+	out := p.txScratch[:0]
 	for _, idx := range attempts {
 		st := p.execPkts[idx]
 		out = append(out, sim.Transmission{Link: st.path[st.hop], PacketID: st.id})
 	}
+	p.txScratch = out
 	return out
 }
 
 // startMainPhase builds the main-phase execution over all live,
 // activated, unfailed packets. Members are ordered by packet ID so runs
-// are deterministic under a fixed seed (map iteration order is not).
+// are deterministic under a fixed seed (map iteration order is not);
+// IDs are unique, so the sorted order is identical however the map
+// iterates.
 func (p *Protocol) startMainPhase(rng *rand.Rand) {
 	p.inCleanup = false
-	var members []*pkt
+	members := p.memberScratch[:0]
 	for _, st := range p.packets {
 		if !st.failed && st.activateFrame <= p.frame {
 			members = append(members, st)
 		}
 	}
-	sort.Slice(members, func(i, j int) bool { return members[i].id < members[j].id })
+	p.memberScratch = members
+	slices.SortFunc(members, func(a, b *pkt) int {
+		if a.id < b.id {
+			return -1
+		}
+		return 1
+	})
 	p.buildExec(members)
 }
 
@@ -503,8 +523,8 @@ func (p *Protocol) Feedback(t int64, tx []sim.Transmission, success []bool) {
 	if p.exec == nil {
 		return
 	}
-	idxs := make([]int, 0, len(tx))
-	oks := make([]bool, 0, len(tx))
+	idxs := p.idxScratch[:0]
+	oks := p.okScratch[:0]
 	for i, w := range tx {
 		idx, ok := p.execByPkt[w.PacketID]
 		if !ok {
@@ -532,5 +552,6 @@ func (p *Protocol) Feedback(t int64, tx []sim.Transmission, success []bool) {
 			delete(p.packets, st.id)
 		}
 	}
+	p.idxScratch, p.okScratch = idxs, oks
 	p.exec.Observe(idxs, oks)
 }

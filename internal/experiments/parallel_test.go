@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunAllParallelBitIdentical is the engine's determinism contract:
+// fanning experiments across a worker pool must not change a single
+// cell of their tables. E2 (SINR stability, replication-heavy) and E7
+// (MAC thresholds) are the two runners named in the PR's acceptance
+// criteria; E1 rides along as a cheap third sample.
+func TestRunAllParallelBitIdentical(t *testing.T) {
+	var runners []Runner
+	for _, id := range []string{"E1", "E2", "E7"} {
+		r, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		runners = append(runners, r)
+	}
+	serial := RunAll(runners, Quick, 7, 1)
+	parallel := RunAll(runners, Quick, 7, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		id := serial[i].Runner.ID
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("%s errors: serial %v, parallel %v", id, serial[i].Err, parallel[i].Err)
+		}
+		s, p := serial[i].Table, parallel[i].Table
+		if !reflect.DeepEqual(s.Columns, p.Columns) || !reflect.DeepEqual(s.Rows, p.Rows) {
+			t.Errorf("%s tables diverge between serial and parallel runs:\nserial:\n%s\nparallel:\n%s",
+				id, s.Format(), p.Format())
+		}
+		if !reflect.DeepEqual(s.Notes, p.Notes) {
+			t.Errorf("%s notes diverge: %v vs %v", id, s.Notes, p.Notes)
+		}
+	}
+}
+
+// TestRunAllReportsErrors checks that a failing runner surfaces its
+// error without disturbing its neighbours.
+func TestRunAllReportsErrors(t *testing.T) {
+	boom := Runner{ID: "EX", Name: "exploding", Run: func(Scale, int64) (*Table, error) {
+		return nil, errSentinel
+	}}
+	ok, _ := ByID("E1")
+	out := RunAll([]Runner{boom, ok}, Quick, 1, 2)
+	if out[0].Err != errSentinel {
+		t.Errorf("runner error not surfaced: %v", out[0].Err)
+	}
+	if out[1].Err != nil || out[1].Table == nil {
+		t.Errorf("healthy runner disturbed: err=%v", out[1].Err)
+	}
+}
+
+type sentinelError struct{}
+
+func (sentinelError) Error() string { return "sentinel" }
+
+var errSentinel = sentinelError{}

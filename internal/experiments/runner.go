@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"time"
+
+	"dynsched/internal/sim"
+)
+
+// Outcome is one experiment's result within a suite run.
+type Outcome struct {
+	Runner  Runner
+	Table   *Table
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunAll executes the given experiments on a worker pool of `parallel`
+// goroutines (0 = GOMAXPROCS, 1 = serial inline) and returns the
+// outcomes in runner order.
+//
+// Every experiment is a pure function of (scale, seed) that builds its
+// own models, RNGs, and protocols — no state is shared across runners —
+// so the tables are bit-identical for every pool size. Only Elapsed
+// (wall-clock, which gains contention under parallelism) may differ
+// between serial and parallel runs.
+func RunAll(runners []Runner, scale Scale, seed int64, parallel int) []Outcome {
+	out := make([]Outcome, len(runners))
+	sim.ForEach(len(runners), parallel, func(i int) {
+		r := runners[i]
+		start := time.Now()
+		tbl, err := r.Run(scale, seed)
+		out[i] = Outcome{Runner: r, Table: tbl, Err: err, Elapsed: time.Since(start)}
+	})
+	return out
+}

@@ -1,6 +1,9 @@
 package interference
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // countDup returns, for each entry of tx, whether its link appears more
 // than once in tx. Links carry at most one packet per slot, so duplicate
@@ -47,6 +50,22 @@ func (m Identity) Successes(tx []int) []bool {
 	return out
 }
 
+// WeightRows implements RowsProvider: the identity matrix in CSR form.
+func (m Identity) WeightRows() *Sparse { return SparseDiag(m.Links) }
+
+// NewResolver implements SlotResolver.
+func (m Identity) NewResolver() func(tx []int) []bool {
+	s := NewResolverScratch(m.Links)
+	return func(tx []int) []bool {
+		out := s.Begin(tx)
+		for i, e := range tx {
+			out[i] = s.Counts[e] == 1
+		}
+		s.End(tx)
+		return out
+	}
+}
+
 // AllOnes is the multiple-access-channel model: every entry of W is 1, so
 // the interference measure is the total number of packets, and a
 // transmission succeeds only when it is the sole transmission in the
@@ -75,6 +94,21 @@ func (m AllOnes) Successes(tx []int) []bool {
 	return out
 }
 
+// NewResolver implements SlotResolver. (AllOnes deliberately does not
+// implement RowsProvider: its matrix is fully dense, and Measure
+// special-cases it to the total request count instead.)
+func (m AllOnes) NewResolver() func(tx []int) []bool {
+	s := NewResolverScratch(m.Links)
+	return func(tx []int) []bool {
+		out := s.Begin(tx)
+		if len(tx) == 1 {
+			out[0] = true
+		}
+		s.End(tx)
+		return out
+	}
+}
+
 // Dense is an explicit weight matrix with threshold transmission
 // semantics: a transmission on e succeeds when e carries one packet and
 // the summed weight of all other simultaneous transmissions at e stays
@@ -84,6 +118,9 @@ type Dense struct {
 	name      string
 	w         [][]float64
 	threshold float64
+
+	rowsMu sync.Mutex
+	rows   *Sparse // CSR cache, invalidated by Set, guarded by rowsMu
 }
 
 var _ Model = (*Dense)(nil)
@@ -116,7 +153,23 @@ func (d *Dense) Set(e, e2 int, v float64) error {
 		return fmt.Errorf("interference: diagonal W[%d][%d] must stay 1", e, e2)
 	}
 	d.w[e][e2] = v
+	d.rowsMu.Lock()
+	d.rows = nil
+	d.rowsMu.Unlock()
 	return nil
+}
+
+// WeightRows implements RowsProvider. The CSR form is built on first
+// use and cached until the next Set; the cache is mutex-guarded so
+// concurrent readers (parallel shards sharing an immutable Dense) are
+// safe. Set itself must still not race with readers.
+func (d *Dense) WeightRows() *Sparse {
+	d.rowsMu.Lock()
+	defer d.rowsMu.Unlock()
+	if d.rows == nil {
+		d.rows = SparseFromWeights(len(d.w), func(e, e2 int) float64 { return d.w[e][e2] })
+	}
+	return d.rows
 }
 
 // Name implements Model.
@@ -145,6 +198,28 @@ func (d *Dense) Successes(tx []int) []bool {
 		out[i] = sum < d.threshold
 	}
 	return out
+}
+
+// NewResolver implements SlotResolver.
+func (d *Dense) NewResolver() func(tx []int) []bool {
+	s := NewResolverScratch(len(d.w))
+	return func(tx []int) []bool {
+		out := s.Begin(tx)
+		for i, e := range tx {
+			if s.Counts[e] != 1 {
+				continue
+			}
+			sum := 0.0
+			for _, e2 := range tx {
+				if e2 != e {
+					sum += d.w[e][e2]
+				}
+			}
+			out[i] = sum < d.threshold
+		}
+		s.End(tx)
+		return out
+	}
 }
 
 // Lossy wraps a model and drops each otherwise-successful transmission

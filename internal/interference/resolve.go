@@ -1,0 +1,71 @@
+package interference
+
+// SlotResolver is an optional Model extension for hot simulation loops.
+// NewResolver returns a function with the exact semantics of Successes,
+// but the resolver may reuse internal buffers across calls: the
+// returned slice is valid only until the next invocation and must not
+// be retained. A resolver is stateful scratch, not shared state — each
+// goroutine (simulation shard) must obtain its own.
+type SlotResolver interface {
+	NewResolver() func(tx []int) []bool
+}
+
+// ResolveFunc returns the cheapest slot-resolution function for m: the
+// model's buffer-reusing resolver when it implements SlotResolver, or
+// its plain Successes method otherwise. The contract on the returned
+// slice matches SlotResolver (valid until the next call).
+func ResolveFunc(m Model) func(tx []int) []bool {
+	if sr, ok := m.(SlotResolver); ok {
+		return sr.NewResolver()
+	}
+	return m.Successes
+}
+
+// ResolverScratch is the common per-resolver buffer set for models that
+// resolve slots by per-link multiplicity counting: a counts vector, a
+// first-occurrence link list, and a reusable result slice. Model
+// packages build their SlotResolver implementations on it so the
+// buffer lifecycle lives in one place.
+type ResolverScratch struct {
+	// Counts is the per-link multiplicity of the current slot's tx,
+	// valid between Begin and End.
+	Counts []int
+	// Uniq lists the distinct transmitting links in first-occurrence
+	// order, valid between Begin and End.
+	Uniq []int
+	out  []bool
+}
+
+// NewResolverScratch creates scratch for a model with numLinks links.
+func NewResolverScratch(numLinks int) *ResolverScratch {
+	return &ResolverScratch{Counts: make([]int, numLinks), Uniq: make([]int, 0, numLinks)}
+}
+
+// Begin counts the multiplicity of each transmitting link, collects the
+// distinct links, and returns a zeroed result slice of len(tx). The
+// caller must pair it with End.
+func (s *ResolverScratch) Begin(tx []int) []bool {
+	if cap(s.out) < len(tx) {
+		s.out = make([]bool, len(tx), 2*len(tx))
+	}
+	s.out = s.out[:len(tx)]
+	for i := range s.out {
+		s.out[i] = false
+	}
+	s.Uniq = s.Uniq[:0]
+	for _, e := range tx {
+		if s.Counts[e] == 0 {
+			s.Uniq = append(s.Uniq, e)
+		}
+		s.Counts[e]++
+	}
+	return s.out
+}
+
+// End re-zeroes the count entries touched by tx, in O(len(tx)) rather
+// than O(numLinks).
+func (s *ResolverScratch) End(tx []int) {
+	for _, e := range tx {
+		s.Counts[e] = 0
+	}
+}

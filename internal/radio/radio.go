@@ -88,6 +88,10 @@ func (m *Model) NumLinks() int { return m.g.NumLinks() }
 // Weight implements interference.Model via the derived conflict matrix.
 func (m *Model) Weight(e, e2 int) float64 { return m.cm.Weight(e, e2) }
 
+// WeightRows implements interference.RowsProvider via the derived
+// conflict matrix's CSR form.
+func (m *Model) WeightRows() *interference.Sparse { return m.cm.WeightRows() }
+
 // ConflictGraph exposes the derived conflict structure.
 func (m *Model) ConflictGraph() *conflict.Graph { return m.cm.ConflictGraph() }
 

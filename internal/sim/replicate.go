@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sync"
 
 	"dynsched/internal/inject"
 	"dynsched/internal/interference"
@@ -36,46 +35,45 @@ type ReplicateResult struct {
 	MeanLat   stats.Summary // across-replication distribution of mean latency
 }
 
-// Replicate runs `reps` independent simulations in parallel with
-// distinct seeds derived from cfg.Seed and aggregates the headline
-// metrics. build is called once per replication with the replication
-// index and its seed, and must return fresh instances.
+// Replicate runs `reps` independent simulations on a worker pool of
+// cfg.Parallel goroutines (0 = GOMAXPROCS) and aggregates the headline
+// metrics. Each replication r derives its own seed SubSeed(cfg.Seed, r),
+// so the per-shard RNG streams share no state and the results —
+// including their order — are bit-identical for every pool size, serial
+// included. build is called once per replication with the replication
+// index and its seed, and must return fresh instances (replications
+// must not share mutable state; a model's SlotResolver scratch, for
+// example, is per-run).
 func Replicate(cfg Config, reps int, build func(rep int, seed int64) (RunInput, error)) (*ReplicateResult, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("sim: reps %d must be positive", reps)
 	}
 	out := &ReplicateResult{Runs: make([]Replication, reps), StableAll: true}
 	errs := make([]error, reps)
-	var wg sync.WaitGroup
-	for r := 0; r < reps; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			seed := cfg.Seed + int64(r)*1_000_003
-			in, err := build(r, seed)
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			c := cfg
-			c.Seed = seed
-			res, err := Run(c, in.Model, in.Process, in.Protocol)
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			out.Runs[r] = Replication{
-				Rep:       r,
-				Stable:    res.Verdict.Stable,
-				MeanQ:     res.Queue.MeanV(),
-				MaxQ:      res.Queue.MaxV(),
-				MeanLat:   res.Latency.Mean(),
-				Delivered: res.Delivered,
-				Injected:  res.Injected,
-			}
-		}(r)
-	}
-	wg.Wait()
+	ForEach(reps, cfg.Parallel, func(r int) {
+		seed := SubSeed(cfg.Seed, r)
+		in, err := build(r, seed)
+		if err != nil {
+			errs[r] = err
+			return
+		}
+		c := cfg
+		c.Seed = seed
+		res, err := Run(c, in.Model, in.Process, in.Protocol)
+		if err != nil {
+			errs[r] = err
+			return
+		}
+		out.Runs[r] = Replication{
+			Rep:       r,
+			Stable:    res.Verdict.Stable,
+			MeanQ:     res.Queue.MeanV(),
+			MaxQ:      res.Queue.MaxV(),
+			MeanLat:   res.Latency.Mean(),
+			Delivered: res.Delivered,
+			Injected:  res.Injected,
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

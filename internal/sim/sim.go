@@ -35,7 +35,9 @@ type Protocol interface {
 	// Slot returns the transmissions to attempt at slot t.
 	Slot(t int64, rng *rand.Rand) []Transmission
 	// Feedback reports the outcome of each attempted transmission of
-	// slot t (acknowledgement-based feedback).
+	// slot t (acknowledgement-based feedback). The tx and success slices
+	// are only valid for the duration of the call — the simulator reuses
+	// them across slots.
 	Feedback(t int64, tx []Transmission, success []bool)
 }
 
@@ -53,6 +55,10 @@ type Config struct {
 	WarmupFrac float64
 	// MaxLatencySlots sizes the latency histogram (0 = Slots).
 	MaxLatencySlots int64
+	// Parallel caps the worker pool that Replicate (not Run) fans
+	// replications across: 0 means GOMAXPROCS, 1 runs serially inline.
+	// Results are bit-identical for every value.
+	Parallel int
 }
 
 // Result aggregates the metrics of one run.
@@ -159,6 +165,10 @@ func Run(cfg Config, model interference.Model, proc inject.Process, proto Protoc
 	}
 	warmupEnd := int64(cfg.WarmupFrac * float64(cfg.Slots))
 	inFlight := make(map[int64]*pktState)
+	// Per-run slot resolver and link buffer: models that support it
+	// resolve slots allocation-free, and the link vector is reused.
+	resolve := interference.ResolveFunc(model)
+	var links []int
 
 	for t := int64(0); t < cfg.Slots; t++ {
 		// 1. Injection.
@@ -188,12 +198,15 @@ func Run(cfg Config, model interference.Model, proc inject.Process, proto Protoc
 		}
 
 		// 3. Resolve the slot physically.
-		links := make([]int, len(tx))
+		if cap(links) < len(tx) {
+			links = make([]int, len(tx), 2*len(tx))
+		}
+		links = links[:len(tx)]
 		for i, w := range tx {
 			links[i] = w.Link
 			res.PerLinkAttempts[w.Link]++
 		}
-		success := model.Successes(links)
+		success := resolve(links)
 		res.AttemptedTx += int64(len(tx))
 
 		// 4. Advance packets and deliver.

@@ -3,6 +3,7 @@ package sinr
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dynsched/internal/interference"
 	"dynsched/internal/netgraph"
@@ -36,10 +37,15 @@ type FixedPower struct {
 	lens    []float64 // link lengths
 	signals []float64 // received signal strength p(ℓ)/d(ℓ)^α
 	w       [][]float64
+	rows    *interference.Sparse
 	name    string
 }
 
-var _ interference.Model = (*FixedPower)(nil)
+var (
+	_ interference.Model        = (*FixedPower)(nil)
+	_ interference.RowsProvider = (*FixedPower)(nil)
+	_ interference.SlotResolver = (*FixedPower)(nil)
+)
 
 // NewFixedPower builds a fixed-power SINR model. The graph must carry
 // node positions and powers must have one positive entry per link.
@@ -111,7 +117,14 @@ func (m *FixedPower) buildWeights() {
 			}
 		}
 	}
+	m.rows = interference.SparseFromWeights(n, func(e, e2 int) float64 { return m.w[e][e2] })
 }
+
+// WeightRows implements interference.RowsProvider. For monotone
+// assignments roughly half the matrix is structurally zero; for
+// affectance matrices the CSR form still wins by replacing dynamic
+// Weight calls with flat array scans.
+func (m *FixedPower) WeightRows() *interference.Sparse { return m.rows }
 
 // Name implements interference.Model.
 func (m *FixedPower) Name() string { return m.name }
@@ -178,4 +191,40 @@ func (m *FixedPower) Successes(tx []int) []bool {
 		out[i] = counts[e] == 1 && ok[e]
 	}
 	return out
+}
+
+// NewResolver implements interference.SlotResolver with the same exact
+// SINR test as Successes but buffers reused across slots: steady-state
+// resolution performs no allocations. Links are visited in the same
+// ascending order as Successes, so the floating-point interference sums
+// — and therefore the outcomes — are bit-identical.
+func (m *FixedPower) NewResolver() func(tx []int) []bool {
+	s := interference.NewResolverScratch(m.g.NumLinks())
+	return func(tx []int) []bool {
+		out := s.Begin(tx)
+		// Successes visits distinct links in ascending order; sorting the
+		// first-occurrence list reproduces its summation order exactly.
+		sort.Ints(s.Uniq)
+		for i, e := range tx {
+			if s.Counts[e] != 1 {
+				continue
+			}
+			interf := m.prm.Noise
+			recv := m.g.Link(netgraph.LinkID(e)).To
+			for _, e2 := range s.Uniq {
+				if e2 == e {
+					continue
+				}
+				d := m.g.NodeDist(m.g.Link(netgraph.LinkID(e2)).From, recv)
+				if d == 0 {
+					interf = math.Inf(1)
+					break
+				}
+				interf += m.powers[e2] / math.Pow(d, m.prm.Alpha)
+			}
+			out[i] = m.signals[e] >= m.prm.Beta*interf
+		}
+		s.End(tx)
+		return out
+	}
 }

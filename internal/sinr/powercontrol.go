@@ -26,13 +26,17 @@ type PowerControl struct {
 	prm  Params
 	lens []float64
 	w    [][]float64
+	rows *interference.Sparse
 
 	// maxIter and powerCap bound the fixed-point iteration.
 	maxIter  int
 	powerCap float64
 }
 
-var _ interference.Model = (*PowerControl)(nil)
+var (
+	_ interference.Model        = (*PowerControl)(nil)
+	_ interference.RowsProvider = (*PowerControl)(nil)
+)
 
 // NewPowerControl builds a power-control SINR model on g.
 func NewPowerControl(g *netgraph.Graph, prm Params) (*PowerControl, error) {
@@ -92,7 +96,13 @@ func (m *PowerControl) buildWeights() {
 			m.w[e][e2] = math.Min(1, v)
 		}
 	}
+	// The shorter-link-only charging rule zeroes roughly half the matrix;
+	// expose the CSR form for O(nnz) measure evaluation.
+	m.rows = interference.SparseFromWeights(n, func(e, e2 int) float64 { return m.w[e][e2] })
 }
+
+// WeightRows implements interference.RowsProvider.
+func (m *PowerControl) WeightRows() *interference.Sparse { return m.rows }
 
 // Name implements interference.Model.
 func (m *PowerControl) Name() string { return "sinr-power-control" }

@@ -31,7 +31,9 @@ type Execution interface {
 	// Attempts returns the indices (into the request slice the execution
 	// was created with) of the requests transmitting this slot. Indices
 	// must be distinct; two returned requests may share a link, in which
-	// case the model will fail both (link capacity one).
+	// case the model will fail both (link capacity one). The returned
+	// slice is only valid until the next Attempts call — executions may
+	// reuse it.
 	Attempts(rng *rand.Rand) []int
 	// Observe reports the outcome for each index returned by Attempts.
 	Observe(attempted []int, success []bool)
@@ -110,6 +112,8 @@ func Run(rng *rand.Rand, m interference.Model, alg Algorithm, reqs []Request, ma
 	}
 	exec := alg.NewExecution(m, reqs)
 	res := Result{Served: make([]bool, len(reqs))}
+	resolve := interference.ResolveFunc(m)
+	var tx []int
 	for res.Slots < maxSlots && !exec.Done() {
 		attempted := exec.Attempts(rng)
 		res.Slots++
@@ -117,11 +121,14 @@ func Run(rng *rand.Rand, m interference.Model, alg Algorithm, reqs []Request, ma
 			continue
 		}
 		res.Attempts += int64(len(attempted))
-		tx := make([]int, len(attempted))
+		if cap(tx) < len(attempted) {
+			tx = make([]int, len(attempted), 2*len(attempted))
+		}
+		tx = tx[:len(attempted)]
 		for i, idx := range attempted {
 			tx[i] = reqs[idx].Link
 		}
-		success := m.Successes(tx)
+		success := resolve(tx)
 		exec.Observe(attempted, success)
 		for i, idx := range attempted {
 			if success[i] {

@@ -107,19 +107,21 @@ func (FullParallel) NewExecution(m interference.Model, reqs []Request) Execution
 
 type fullParallelExec struct {
 	pending *pendingSet
+	scratch []int // Attempts result buffer, reused across slots
 }
 
 func (e *fullParallelExec) Done() bool     { return e.pending.pending == 0 }
 func (e *fullParallelExec) Remaining() int { return e.pending.pending }
 
 func (e *fullParallelExec) Attempts(rng *rand.Rand) []int {
-	var out []int
+	out := e.scratch[:0]
 	for link := range e.pending.byLink {
 		if n := e.pending.countOn(link); n > 0 {
 			// Head of line: the first pending index on the link.
 			out = append(out, e.pending.byLink[link][0])
 		}
 	}
+	e.scratch = out
 	return out
 }
 

@@ -1,0 +1,78 @@
+package dynsched
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestModulePath guards the seed defect that once made the whole tree
+// unbuildable: go.mod must declare the module path every internal
+// import in the tree assumes. If the module line and the import prefix
+// ever diverge again, this fails loudly instead of `go build` failing
+// at setup with "does not contain main module".
+func TestModulePath(t *testing.T) {
+	const wantModule = "dynsched"
+
+	data, err := os.ReadFile("go.mod")
+	if err != nil {
+		t.Fatalf("reading go.mod: %v (the module file is load-bearing — do not delete it)", err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		t.Fatal("go.mod has no module directive")
+	}
+	if module != wantModule {
+		t.Fatalf("go.mod declares module %q, want %q (the internal/... imports use this prefix)", module, wantModule)
+	}
+
+	// Every intra-repo import must use the declared module path as its
+	// prefix — scan the whole tree, not a sample.
+	fset := token.NewFileSet()
+	internalImports := 0
+	err = filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if !strings.Contains(p, "internal/") {
+				continue
+			}
+			internalImports++
+			if !strings.HasPrefix(p, module+"/") {
+				t.Errorf("%s imports %q, which does not start with the module path %q", path, p, module)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if internalImports == 0 {
+		t.Fatal("found no internal imports — the guard is scanning the wrong tree")
+	}
+}
