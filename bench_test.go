@@ -1,6 +1,7 @@
 package dynsched
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -25,7 +26,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tbl, err := r.Run(experiments.Quick, int64(i)+1)
+		tbl, err := r.Run(context.Background(), experiments.Quick, int64(i)+1)
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}

@@ -1,111 +1,199 @@
 // Command dynsched runs a single configurable simulation of the dynamic
 // scheduling protocol and prints the run's metrics. It is the
 // exploration tool; cmd/experiments reproduces the paper's tables.
-// With -reps R the run is replicated R times with derived sub-seeds on
-// a -parallel N worker pool, and the across-replication statistics are
-// printed; the numbers are bit-identical for every N.
+//
+// Workloads are dynsched.Scenario values: compose one from flags, run a
+// registered one by name (-scenario, see -list-scenarios), or load a
+// JSON scenario document (-spec). With -reps R the scenario is
+// replicated R times with derived sub-seeds on a -parallel N worker
+// pool, and the across-replication statistics are printed; the numbers
+// are bit-identical for every N. Ctrl-C cancels the run and prints the
+// partial result.
 //
 // Examples:
 //
+//	dynsched -scenario sinr-stochastic
+//	dynsched -scenario mac-adversarial -slots 100000 -json
 //	dynsched -model identity -topology line -nodes 8 -hops 6 -lambda 0.4
-//	dynsched -model sinr-linear -links 32 -lambda 0.08 -slots 100000
-//	dynsched -model mac -links 8 -alg rrw -lambda 0.7
 //	dynsched -model sinr-uniform -links 16 -lambda 0.03 -adversary burst -window 64
-//	dynsched -model identity -lambda 0.4 -queue-csv queue.csv
 //	dynsched -model sinr-linear -links 32 -lambda 0.06 -reps 16 -parallel 8
+//	dynsched -spec myscenario.json -queue-csv queue.csv
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"dynsched"
 	"dynsched/internal/cli"
 	"dynsched/internal/plot"
 	"dynsched/internal/sim"
 )
 
 func main() {
+	o := cli.Options{
+		Model: "identity", Topology: "auto", Alg: "auto",
+		Nodes: 8, Links: 16, Hops: 4,
+		Lambda: 0.3, Eps: 0.25, Seed: 1, Window: 64,
+	}
+	cli.RegisterWorkloadFlags(flag.CommandLine, &o)
 	var (
-		o        cli.Options
-		slots    int64
-		queueCSV string
-		reps     int
-		parallel int
+		slots         int64
+		queueCSV      string
+		reps          int
+		parallel      int
+		scenarioName  string
+		listScenarios bool
+		asJSON        bool
 	)
-	flag.StringVar(&o.Model, "model", "identity", "interference model: identity, mac, sinr-linear, sinr-uniform, sinr-power-control")
-	flag.StringVar(&o.Topology, "topology", "auto", "topology: line, grid, pairs, nested, mac, auto")
-	flag.StringVar(&o.Alg, "alg", "auto", "static algorithm: full-parallel, decay, decay-adaptive, spread, densify, trivial, mac-decay, rrw, backoff, greedy-pc, auto")
-	flag.IntVar(&o.Nodes, "nodes", 8, "node count (line/grid topologies)")
-	flag.IntVar(&o.Links, "links", 16, "link count (pairs/nested/mac topologies)")
-	flag.IntVar(&o.Hops, "hops", 4, "path length for multi-hop workloads")
-	flag.Float64Var(&o.Lambda, "lambda", 0.3, "injection rate in measure units per slot")
-	flag.Float64Var(&o.Eps, "eps", 0.25, "protocol headroom ε")
 	flag.Int64Var(&slots, "slots", 50000, "slots to simulate")
-	flag.Int64Var(&o.Seed, "seed", 1, "random seed")
-	flag.StringVar(&o.Adv, "adversary", "", "adversarial timing: burst, spread, sawtooth, rotating (empty = stochastic)")
-	flag.IntVar(&o.Window, "window", 64, "adversary window length w")
-	flag.Float64Var(&o.LossP, "loss", 0, "independent per-transmission loss probability")
 	flag.StringVar(&queueCSV, "queue-csv", "", "write the sampled queue-length series to this CSV file")
 	flag.IntVar(&reps, "reps", 1, "independent replications with derived sub-seeds (1 = single run)")
 	flag.IntVar(&parallel, "parallel", 0, "worker count for -reps (0 = all CPUs, 1 = serial); results are bit-identical either way")
-	spec := flag.String("spec", "", "JSON run specification; file values override flags")
+	flag.StringVar(&scenarioName, "scenario", "", "run a registered scenario by name (see -list-scenarios)")
+	flag.BoolVar(&listScenarios, "list-scenarios", false, "list registered scenarios and exit")
+	flag.BoolVar(&asJSON, "json", false, "emit the result as JSON instead of the text report")
+	spec := flag.String("spec", "", "JSON scenario document; overrides flag-composed workloads")
 	flag.Parse()
 
-	if *spec != "" {
-		data, err := os.ReadFile(*spec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dynsched:", err)
-			os.Exit(1)
+	if listScenarios {
+		for _, s := range dynsched.Scenarios() {
+			fmt.Printf("%s\t%s\n", s.Name, s.Description)
 		}
-		o, err = cli.ParseSpec(data, o)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dynsched:", err)
-			os.Exit(1)
-		}
+		return
 	}
+
+	sc, err := resolveScenario(o, slots, parallel, scenarioName, *spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynsched:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	if reps > 1 {
 		if queueCSV != "" {
 			fmt.Fprintln(os.Stderr, "dynsched: -queue-csv records a single run's series; it cannot be combined with -reps")
 			os.Exit(2)
 		}
-		if err := runReplicated(o, slots, reps, parallel); err != nil {
-			fmt.Fprintln(os.Stderr, "dynsched:", err)
-			os.Exit(1)
-		}
-		return
+		err = runReplicated(ctx, sc, reps, asJSON)
+	} else {
+		err = run(ctx, sc, queueCSV, asJSON)
 	}
-	if err := run(o, slots, queueCSV); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynsched:", err)
 		os.Exit(1)
 	}
 }
 
+// resolveScenario builds the scenario to run: a registered one by name,
+// a JSON document, or the flag-composed workload. Explicitly set
+// -slots/-seed/-lambda/-eps flags override a named or file scenario.
+func resolveScenario(o cli.Options, slots int64, parallel int, name, specPath string) (dynsched.Scenario, error) {
+	fromFlags := dynsched.Scenario{
+		Name:        "cli",
+		Description: "composed from cmd/dynsched flags",
+		Network:     dynsched.NetworkSpec{Topology: o.Topology, Nodes: o.Nodes, Links: o.Links, Hops: o.Hops},
+		Model:       dynsched.ModelSpec{Kind: o.Model, Loss: o.LossP},
+		Traffic:     trafficSpec(o),
+		Protocol:    dynsched.ProtocolSpec{Alg: o.Alg, Eps: o.Eps, Frame: o.Frame, DisableDelays: o.DisableDelays},
+		Sim:         dynsched.SimSpec{Slots: slots, Seed: o.Seed, WarmupFrac: 0.1, Parallel: parallel},
+	}
+	switch {
+	case name != "" && specPath != "":
+		return dynsched.Scenario{}, errors.New("-scenario and -spec are mutually exclusive")
+	case name != "":
+		sc, ok := dynsched.ScenarioByName(name)
+		if !ok {
+			return dynsched.Scenario{}, fmt.Errorf("unknown scenario %q (see -list-scenarios)", name)
+		}
+		return applyOverrides(sc, fromFlags, parallel), nil
+	case specPath != "":
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return dynsched.Scenario{}, err
+		}
+		sc, err := dynsched.ParseScenario(data)
+		if err != nil {
+			return dynsched.Scenario{}, err
+		}
+		return applyOverrides(sc, fromFlags, parallel), nil
+	default:
+		return fromFlags, nil
+	}
+}
+
+func trafficSpec(o cli.Options) dynsched.TrafficSpec {
+	pattern := "stochastic"
+	if o.Adv != "" {
+		pattern = o.Adv
+	}
+	return dynsched.TrafficSpec{Pattern: pattern, Lambda: o.Lambda, Window: o.Window}
+}
+
+// applyOverrides lets every explicitly set flag override a loaded
+// scenario, so `-scenario X -slots 1000 -lambda 0.5` works as expected
+// and no flag is silently ignored.
+func applyOverrides(sc, fromFlags dynsched.Scenario, parallel int) dynsched.Scenario {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	apply := map[string]func(){
+		"model":     func() { sc.Model.Kind = fromFlags.Model.Kind },
+		"loss":      func() { sc.Model.Loss = fromFlags.Model.Loss },
+		"topology":  func() { sc.Network.Topology = fromFlags.Network.Topology },
+		"nodes":     func() { sc.Network.Nodes = fromFlags.Network.Nodes },
+		"links":     func() { sc.Network.Links = fromFlags.Network.Links },
+		"hops":      func() { sc.Network.Hops = fromFlags.Network.Hops },
+		"lambda":    func() { sc.Traffic.Lambda = fromFlags.Traffic.Lambda },
+		"adversary": func() { sc.Traffic.Pattern = fromFlags.Traffic.Pattern },
+		"window":    func() { sc.Traffic.Window = fromFlags.Traffic.Window },
+		"alg":       func() { sc.Protocol.Alg = fromFlags.Protocol.Alg },
+		"eps":       func() { sc.Protocol.Eps = fromFlags.Protocol.Eps },
+		"frame":     func() { sc.Protocol.Frame = fromFlags.Protocol.Frame },
+		"no-delays": func() { sc.Protocol.DisableDelays = fromFlags.Protocol.DisableDelays },
+		"slots":     func() { sc.Sim.Slots = fromFlags.Sim.Slots },
+		"seed":      func() { sc.Sim.Seed = fromFlags.Sim.Seed },
+		"parallel":  func() { sc.Sim.Parallel = parallel },
+	}
+	for name, fn := range apply {
+		if set[name] {
+			fn()
+		}
+	}
+	return sc
+}
+
 // runReplicated fans `reps` independent runs across the worker pool and
 // prints per-replication lines plus the across-replication summary.
-func runReplicated(o cli.Options, slots int64, reps, parallel int) error {
-	var name, procName string
-	res, err := sim.Replicate(
-		sim.Config{Slots: slots, Seed: o.Seed, WarmupFrac: 0.1, Parallel: parallel},
-		reps,
-		func(rep int, seed int64) (sim.RunInput, error) {
-			ro := o
-			ro.Seed = seed
-			w, err := cli.Build(ro)
-			if err != nil {
-				return sim.RunInput{}, err
-			}
-			if rep == 0 {
-				name, procName = w.Protocol.Name(), w.Process.Name()
-			}
-			return sim.RunInput{Model: w.Model, Process: w.Process, Protocol: w.Protocol}, nil
-		})
+// Cancellation reports the completed replications as a partial result.
+func runReplicated(ctx context.Context, sc dynsched.Scenario, reps int, asJSON bool) error {
+	res, runErr := sc.Replicate(ctx, reps)
+	if runErr != nil && (res == nil || len(res.Runs) == 0) {
+		return runErr
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "dynsched: %v — reporting the partial result\n", runErr)
+	}
+	if asJSON {
+		if err := printJSON(res); err != nil {
+			return err
+		}
+		return runErr
+	}
+	// Compiled only for the header's protocol/process names.
+	c, err := sc.Compile()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("protocol:    %s  injection: %s  λ=%.4f\n", name, procName, o.Lambda)
-	fmt.Printf("runs:        %d × %d slots, %d workers\n", reps, slots, sim.Workers(parallel, reps))
+	fmt.Printf("scenario:    %s\n", sc.Name)
+	fmt.Printf("protocol:    %s  injection: %s  λ=%.4f\n",
+		c.Protocol.Name(), c.Process.Name(), sc.Traffic.Lambda)
+	fmt.Printf("runs:        %d × %d slots, %d workers\n", reps, sc.Sim.Slots, sim.Workers(sc.Sim.Parallel, reps))
 	fmt.Printf("%4s  %20s  %10s  %10s  %10s  %s\n", "rep", "seed", "mean queue", "max queue", "mean lat", "verdict")
 	for _, r := range res.Runs {
 		verdict := "stable"
@@ -113,7 +201,7 @@ func runReplicated(o cli.Options, slots int64, reps, parallel int) error {
 			verdict = "UNSTABLE"
 		}
 		fmt.Printf("%4d  %20d  %10.1f  %10.1f  %10.1f  %s\n",
-			r.Rep, sim.SubSeed(o.Seed, r.Rep), r.MeanQ, r.MaxQ, r.MeanLat, verdict)
+			r.Rep, sim.SubSeed(sc.Sim.Seed, r.Rep), r.MeanQ, r.MaxQ, r.MeanLat, verdict)
 	}
 	fmt.Printf("queue:       mean %.2f ± %.2f across replications\n", res.MeanQ.Mean(), res.MeanQ.Std())
 	fmt.Printf("latency:     mean %.2f ± %.2f across replications\n", res.MeanLat.Mean(), res.MeanLat.Std())
@@ -122,31 +210,40 @@ func runReplicated(o cli.Options, slots int64, reps, parallel int) error {
 		verdict = "UNSTABLE (at least one replication)"
 	}
 	fmt.Printf("verdict:     %s\n", verdict)
-	return nil
+	return runErr
 }
 
-func run(o cli.Options, slots int64, queueCSV string) error {
-	w, err := cli.Build(o)
+func run(ctx context.Context, sc dynsched.Scenario, queueCSV string, asJSON bool) error {
+	c, err := sc.Compile()
 	if err != nil {
 		return err
 	}
-	res, err := sim.Run(sim.Config{Slots: slots, Seed: o.Seed, WarmupFrac: 0.1},
-		w.Model, w.Process, w.Protocol)
-	if err != nil {
-		return err
+	res, runErr := c.Run(ctx)
+	if runErr != nil && res == nil {
+		return runErr
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "dynsched: %v — reporting the partial result\n", runErr)
+	}
+	if asJSON {
+		if err := printJSON(res); err != nil {
+			return err
+		}
+		return runErr
 	}
 
-	s := w.Protocol.Sizing()
-	fmt.Printf("network:     %d nodes, %d links, m=%d, model=%s\n",
-		w.Graph.NumNodes(), w.Graph.NumLinks(), w.M, w.Model.Name())
+	s := c.Protocol.Sizing()
+	fmt.Printf("scenario:    %s\n", sc.Name)
+	fmt.Printf("network:     %d nodes, %d links, model=%s\n",
+		c.Graph.NumNodes(), c.Graph.NumLinks(), c.Model.Name())
 	fmt.Printf("protocol:    %s  frame T=%d  J=%d  main=%d  cleanup=%d  δmax=%d\n",
-		w.Protocol.Name(), s.T, s.J, s.MainBudget, s.CleanupBudget, s.DelayMax)
-	fmt.Printf("injection:   %s  λ=%.4f\n", w.Process.Name(), w.Process.Rate())
-	fmt.Printf("run:         %d slots (%d frames)\n", res.Slots, w.Protocol.FramesRun)
+		c.Protocol.Name(), s.T, s.J, s.MainBudget, s.CleanupBudget, s.DelayMax)
+	fmt.Printf("injection:   %s  λ=%.4f\n", c.Process.Name(), c.Process.Rate())
+	fmt.Printf("run:         %d slots (%d frames)\n", res.Slots, c.Protocol.FramesRun)
 	fmt.Printf("packets:     injected=%d delivered=%d in-flight=%d\n",
 		res.Injected, res.Delivered, res.InFlight)
 	fmt.Printf("failures:    %d failed, %d clean-up hops, %d still buffered, potential Φ=%d\n",
-		w.Protocol.Failures, w.Protocol.CleanupDelivered, w.Protocol.FailedQueueLen(), w.Protocol.Potential())
+		c.Protocol.Failures, c.Protocol.CleanupDelivered, c.Protocol.FailedQueueLen(), c.Protocol.Potential())
 	fmt.Printf("latency:     %s\n", res.Latency)
 	fmt.Printf("queue:       mean=%.1f max=%.1f\n", res.Queue.MeanV(), res.Queue.MaxV())
 	fmt.Printf("fairness:    %.3f (Jain index over per-link service)\n", res.FairnessIndex())
@@ -173,5 +270,11 @@ func run(o cli.Options, slots int64, queueCSV string) error {
 	if res.ProtocolErrors > 0 {
 		return fmt.Errorf("%d protocol errors — this is a bug", res.ProtocolErrors)
 	}
-	return nil
+	return runErr
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"dynsched/internal/cli"
 	"dynsched/internal/experiments"
 )
 
@@ -50,7 +51,11 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 
-	results := experiments.RunAll(runners, scale, *seed, *parallel)
+	// Ctrl-C cancels the run context: running experiments stop at their
+	// next simulation slot and unstarted ones are skipped.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	results := experiments.RunAll(ctx, runners, scale, *seed, *parallel)
 
 	failed := false
 	for i, r := range runners {

@@ -15,25 +15,34 @@
 //
 // # Quick start
 //
-//	g := dynsched.LineNetwork(6, 1)
-//	model := dynsched.Identity{Links: g.NumLinks()}
-//	path, _ := dynsched.ShortestPath(g, 0, 5)
-//	proc, _ := dynsched.StochasticAtRate(model, []dynsched.Generator{{
-//		Choices: []dynsched.PathChoice{{Path: path, P: 0.5}},
-//	}}, 0.4)
-//	proto, _ := dynsched.NewProtocol(dynsched.ProtocolConfig{
-//		Model: model, Alg: dynsched.FullParallel{}, M: g.NumLinks(),
-//		Lambda: 0.4, Eps: 0.25,
-//	})
-//	res, _ := dynsched.Simulate(dynsched.SimConfig{Slots: 50000, Seed: 1},
-//		model, proc, proto)
+// Experiments are declared as Scenario values — network, interference
+// model, traffic, protocol and simulation parameters in one
+// JSON-serialisable struct — then compiled and run:
+//
+//	sc := dynsched.NewScenario("quickstart",
+//		dynsched.WithModel("identity"),
+//		dynsched.WithTopology("line"),
+//		dynsched.WithNodes(6), dynsched.WithHops(5),
+//		dynsched.WithLambda(0.4),
+//		dynsched.WithAlgorithm("full-parallel"),
+//		dynsched.WithSlots(50_000), dynsched.WithSeed(1),
+//	)
+//	res, _ := sc.Run(ctx)
 //	fmt.Println(res.Verdict.Stable, res.Latency.Mean())
+//
+// Named scenarios register process-wide (RegisterScenario, Scenarios,
+// ScenarioByName) and run from cmd/dynsched by name; custom metrics
+// attach as sim.Observer values without touching the engine. The
+// underlying primitives (networks, models, injection processes,
+// protocols, Simulate/Replicate) remain exported below for programs
+// that need to assemble components by hand.
 //
 // See the examples directory for complete programs and DESIGN.md for
 // the system inventory.
 package dynsched
 
 import (
+	"context"
 	"math/rand"
 
 	"dynsched/internal/baseline"
@@ -436,9 +445,33 @@ type SimProtocol = sim.Protocol
 // Transmission is a protocol's request to send one packet on one link.
 type Transmission = sim.Transmission
 
-// Simulate runs a protocol against a model and injection process.
+// SimObserver receives simulation lifecycle events (OnInject, OnSlot,
+// OnDeliver, OnEnd). Attach custom observers via SimulateContext or
+// Scenario observers to collect metrics the engine does not know about.
+type SimObserver = sim.Observer
+
+// BaseObserver is a no-op SimObserver for embedding, so custom
+// observers implement only the events they care about.
+type BaseObserver = sim.BaseObserver
+
+// SlotView is the per-slot snapshot handed to observers.
+type SlotView = sim.SlotView
+
+// Delivery describes one packet reaching the end of its path.
+type Delivery = sim.Delivery
+
+// Simulate runs a protocol against a model and injection process. It is
+// a thin wrapper over SimulateContext with a background context.
 func Simulate(cfg SimConfig, m Model, proc InjectionProcess, proto SimProtocol) (*SimResult, error) {
-	return sim.Run(cfg, m, proc, proto)
+	return sim.Run(context.Background(), cfg, m, proc, proto)
+}
+
+// SimulateContext runs a protocol with cancellation/deadline support
+// and optional extra observers. When ctx is cancelled mid-run it
+// returns the partial result together with an error wrapping the
+// context's error.
+func SimulateContext(ctx context.Context, cfg SimConfig, m Model, proc InjectionProcess, proto SimProtocol, obs ...SimObserver) (*SimResult, error) {
+	return sim.Run(ctx, cfg, m, proc, proto, obs...)
 }
 
 // ReplicateInput bundles one replication's components.
@@ -450,9 +483,17 @@ type ReplicateResult = sim.ReplicateResult
 // Replicate runs independent replications on a worker pool of
 // cfg.Parallel goroutines (0 = GOMAXPROCS) with distinct derived seeds
 // and aggregates the headline metrics. Results are bit-identical for
-// every pool size.
+// every pool size. It is a thin wrapper over ReplicateContext with a
+// background context.
 func Replicate(cfg SimConfig, reps int, build func(rep int, seed int64) (ReplicateInput, error)) (*ReplicateResult, error) {
-	return sim.Replicate(cfg, reps, build)
+	return sim.Replicate(context.Background(), cfg, reps, build)
+}
+
+// ReplicateContext is Replicate with cancellation/deadline support:
+// when ctx is cancelled mid-way it returns the completed replications
+// together with an error wrapping the context's error.
+func ReplicateContext(ctx context.Context, cfg SimConfig, reps int, build func(rep int, seed int64) (ReplicateInput, error)) (*ReplicateResult, error) {
+	return sim.Replicate(ctx, cfg, reps, build)
 }
 
 // SubSeed derives the seed of shard i from a base seed via a SplitMix64

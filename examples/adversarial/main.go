@@ -2,64 +2,79 @@
 // bursts at a relay line. The Section 5 wrapper — a uniformly random
 // initial delay below δmax for every packet — smooths any admissible
 // pattern back into something the stochastic analysis handles. Running
-// with the delays disabled shows what they are protecting against.
+// the same scenario with the delays disabled shows what they are
+// protecting against, and a custom observer does the per-window
+// adversary accounting without touching the simulation engine.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"dynsched"
 )
 
+// windowPeak tracks the largest number of packets the adversary lands
+// in any single window — pluggable per-window accounting.
+type windowPeak struct {
+	dynsched.BaseObserver
+	window int64
+	cur    int64
+	curWin int64
+	peak   int64
+}
+
+func (w *windowPeak) OnInject(t int64, pkts []dynsched.Packet) {
+	if win := t / w.window; win != w.curWin {
+		w.curWin, w.cur = win, 0
+	}
+	w.cur += int64(len(pkts))
+	if w.cur > w.peak {
+		w.peak = w.cur
+	}
+}
+
 func main() {
-	const (
-		hops   = 4
-		window = 64
-		lambda = 0.4
-	)
-	g := dynsched.LineNetwork(hops+1, 1)
-	model := dynsched.Identity{Links: g.NumLinks()}
-	path, ok := dynsched.ShortestPath(g, 0, hops)
-	if !ok {
-		log.Fatal("no path")
+	const window = 64
+
+	// The adversary injects its entire window budget w·λ as one burst at
+	// the start of each window — admissible, but maximally spiky. The
+	// whole experiment is one declarative literal.
+	base := dynsched.Scenario{
+		Name:     "adversarial-line",
+		Network:  dynsched.NetworkSpec{Topology: "line", Nodes: 5, Hops: 4},
+		Model:    dynsched.ModelSpec{Kind: "identity"},
+		Traffic:  dynsched.TrafficSpec{Pattern: "burst", Lambda: 0.4, Window: window},
+		Protocol: dynsched.ProtocolSpec{Alg: "full-parallel", Eps: 0.25},
+		Sim:      dynsched.SimSpec{Slots: 80_000, Seed: 11},
 	}
 
 	for _, delaysOff := range []bool{false, true} {
-		// The adversary injects its entire window budget w·λ as one
-		// burst at the start of each window — admissible, but maximally
-		// spiky.
-		adv, err := dynsched.NewAdversary(model, []dynsched.Path{path},
-			window, lambda, dynsched.TimingBurst)
+		sc := base
+		sc.Protocol.DisableDelays = delaysOff
+		peak := &windowPeak{window: window}
+		sc.Observers = []dynsched.ObserverFactory{
+			func() dynsched.SimObserver { return peak },
+		}
+
+		c, err := sc.Compile()
 		if err != nil {
 			log.Fatal(err)
 		}
-		proto, err := dynsched.NewProtocol(dynsched.ProtocolConfig{
-			Model:         model,
-			Alg:           dynsched.FullParallel{},
-			M:             g.NumLinks(),
-			Lambda:        lambda,
-			Eps:           0.25,
-			Window:        window,
-			D:             hops,
-			DisableDelays: delaysOff,
-			Seed:          3,
-		})
+		res, err := c.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := dynsched.Simulate(dynsched.SimConfig{Slots: 80_000, Seed: 11},
-			model, adv, proto)
-		if err != nil {
-			log.Fatal(err)
-		}
-		mode := "with random delays (δmax=" + fmt.Sprint(proto.Sizing().DelayMax) + " frames)"
+		mode := "with random delays (δmax=" + fmt.Sprint(c.Protocol.Sizing().DelayMax) + " frames)"
 		if delaysOff {
 			mode = "delays DISABLED (ablation)"
 		}
 		fmt.Printf("%s:\n", mode)
-		fmt.Printf("  delivered %d/%d, failures %d, queue mean %.1f max %.1f, stable=%v\n\n",
-			res.Delivered, res.Injected, proto.Failures,
+		fmt.Printf("  delivered %d/%d, failures %d, queue mean %.1f max %.1f, stable=%v\n",
+			res.Delivered, res.Injected, c.Protocol.Failures,
 			res.Queue.MeanV(), res.Queue.MaxV(), res.Verdict.Stable)
+		fmt.Printf("  adversary peak: %d packets in one %d-slot window (budget w·λ = %.0f)\n\n",
+			peak.peak, window, float64(window)*sc.Traffic.Lambda)
 	}
 }

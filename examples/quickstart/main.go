@@ -1,10 +1,11 @@
-// Quickstart: build a small multi-hop network, wrap a static algorithm
-// into the dynamic protocol, inject stochastic traffic, and check that
-// queues stay bounded — the paper's stability guarantee (Theorem 3) in
-// a dozen lines of API.
+// Quickstart: declare a small multi-hop experiment as a Scenario —
+// network, interference model, traffic, protocol and simulation, all in
+// one value — and check that queues stay bounded: the paper's stability
+// guarantee (Theorem 3) in a dozen lines of API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,41 +13,31 @@ import (
 )
 
 func main() {
-	// A 6-node line; packets travel the full 5 hops left to right.
-	g := dynsched.LineNetwork(6, 1)
-	model := dynsched.Identity{Links: g.NumLinks()}
-	path, ok := dynsched.ShortestPath(g, 0, 5)
-	if !ok {
-		log.Fatal("no path")
-	}
+	// A 6-node line under the packet-routing (identity) model; packets
+	// travel the full 5 hops left to right, injected stochastically at
+	// 40% of capacity (in interference-measure units per slot).
+	sc := dynsched.NewScenario("quickstart",
+		dynsched.WithModel("identity"),
+		dynsched.WithTopology("line"),
+		dynsched.WithNodes(6),
+		dynsched.WithHops(5),
+		dynsched.WithLambda(0.4),
+		dynsched.WithAlgorithm("full-parallel"), // optimal for packet routing
+		dynsched.WithSlots(50_000),
+		dynsched.WithSeed(42),
+	)
 
-	// Stochastic injection at 40% of each link's capacity (in
-	// interference-measure units per slot).
-	const lambda = 0.4
-	proc, err := dynsched.StochasticAtRate(model, []dynsched.Generator{
-		{Choices: []dynsched.PathChoice{{Path: path, P: 0.5}}},
-	}, lambda)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// The dynamic protocol: frames are sized automatically from the
-	// static algorithm's schedule-length contract.
-	proto, err := dynsched.NewProtocol(dynsched.ProtocolConfig{
-		Model:  model,
-		Alg:    dynsched.FullParallel{}, // optimal for packet routing
-		M:      g.NumLinks(),
-		Lambda: lambda,
-		Eps:    0.25,
-	})
+	// Compile wires the declarative spec into runnable components; the
+	// frame layout is solved from the static algorithm's schedule-length
+	// contract.
+	c, err := sc.Compile()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("frame length T=%d, capacity J=%d per frame\n",
-		proto.Sizing().T, proto.Sizing().J)
+		c.Protocol.Sizing().T, c.Protocol.Sizing().J)
 
-	res, err := dynsched.Simulate(dynsched.SimConfig{Slots: 50_000, Seed: 42},
-		model, proc, proto)
+	res, err := c.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +45,7 @@ func main() {
 	fmt.Printf("injected %d, delivered %d, still queued %d\n",
 		res.Injected, res.Delivered, res.InFlight)
 	fmt.Printf("mean latency %.1f slots (%.1f frames for a 5-hop packet)\n",
-		res.Latency.Mean(), res.Latency.Mean()/float64(proto.Sizing().T))
+		res.Latency.Mean(), res.Latency.Mean()/float64(c.Protocol.Sizing().T))
 	if res.Verdict.Stable {
 		fmt.Println("queues bounded: the protocol is stable at this rate ✓")
 	} else {

@@ -5,10 +5,13 @@
 //
 // This is the workload class the paper's introduction motivates: real
 // geometry, accumulating interference, multi-hop relaying, and traffic
-// arriving over time rather than as a fixed batch.
+// arriving over time rather than as a fixed batch — declared here as
+// the registered "grid-convergecast" scenario rather than hand-wired
+// from the façade's primitives.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,62 +19,19 @@ import (
 )
 
 func main() {
-	const side = 4
-	g := dynsched.GridNetwork(side, side, 1)
+	sc, ok := dynsched.ScenarioByName("grid-convergecast")
+	if !ok {
+		log.Fatal("grid-convergecast scenario not registered")
+	}
 
-	// Uniform powers: every sensor radio transmits at the same power —
-	// the monotone weight matrix of Section 6.1 applies (Corollary 13).
-	prm := dynsched.DefaultSINRParams()
-	powers, err := dynsched.SINRPowers(g, prm, dynsched.PowerUniform, 1)
+	c, err := sc.Compile()
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := dynsched.NewSINRFixedPower(g, prm, powers, dynsched.WeightMonotone)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("%d sensors, %d links, frame T=%d\n",
+		c.Graph.NumNodes()-1, c.Graph.NumLinks(), c.Protocol.Sizing().T)
 
-	// Convergecast: every node routes to the sink at node 0.
-	rt := dynsched.NewRoutingTable(g)
-	var gens []dynsched.Generator
-	maxHops := 0
-	for v := 1; v < g.NumNodes(); v++ {
-		path, ok := rt.Path(dynsched.NodeID(v), 0)
-		if !ok {
-			log.Fatalf("node %d cannot reach the sink", v)
-		}
-		if len(path) > maxHops {
-			maxHops = len(path)
-		}
-		gens = append(gens, dynsched.Generator{
-			Choices: []dynsched.PathChoice{{Path: path, P: 0.1}},
-		})
-	}
-
-	// Measure-calibrated rate: λ is in ‖W·F‖∞ units, so interference
-	// between reports is already priced in.
-	const lambda = 0.02
-	proc, err := dynsched.StochasticAtRate(model, gens, lambda)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	inst := dynsched.NewInstance(g, maxHops)
-	proto, err := dynsched.NewProtocol(dynsched.ProtocolConfig{
-		Model:  model,
-		Alg:    dynsched.Spread{}, // the delay-spreading SINR scheduler
-		M:      inst.M(),
-		Lambda: lambda,
-		Eps:    0.25,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%d sensors, %d links, routes up to %d hops, frame T=%d\n",
-		g.NumNodes()-1, g.NumLinks(), maxHops, proto.Sizing().T)
-
-	res, err := dynsched.Simulate(dynsched.SimConfig{Slots: 100_000, Seed: 7},
-		model, proc, proto)
+	res, err := c.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +40,7 @@ func main() {
 	fmt.Printf("latency: mean %.0f slots, p99 %.0f slots\n",
 		res.Latency.Mean(), res.Latency.Quantile(0.99))
 	fmt.Printf("failed transmissions recovered by clean-up phases: %d\n",
-		proto.CleanupDelivered)
+		c.Protocol.CleanupDelivered)
 	fmt.Printf("stable: %v (queue mean %.1f, max %.1f)\n",
 		res.Verdict.Stable, res.Queue.MeanV(), res.Queue.MaxV())
 }

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"dynsched/internal/inject"
@@ -28,7 +29,7 @@ func TestMaxWeightStableOnIdentity(t *testing.T) {
 	m := interference.Identity{Links: 5}
 	proc := singleHopProc(t, m, 5, 0.7)
 	proto := NewMaxWeight(m)
-	res, err := sim.Run(sim.Config{Slots: 20000, Seed: 141}, m, proc, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 20000, Seed: 141}, m, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestMaxWeightStableOnMAC(t *testing.T) {
 	m := interference.AllOnes{Links: 4}
 	proc := singleHopProc(t, m, 4, 0.8) // total rate 0.8 < 1: serviceable
 	proto := NewMaxWeight(m)
-	res, err := sim.Run(sim.Config{Slots: 30000, Seed: 142}, m, proc, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 30000, Seed: 142}, m, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestMACFallbackStableAtLowRate(t *testing.T) {
 	// aggregate identity rate 6·λ must stay below 1: use λ = 0.1.
 	proc := singleHopProc(t, m, 6, 0.1)
 	proto := NewMACFallback(6)
-	res, err := sim.Run(sim.Config{Slots: 20000, Seed: 143}, m, proc, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 20000, Seed: 143}, m, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestMACFallbackWastesParallelism(t *testing.T) {
 	// factor-m loss of Section 8.
 	m := interference.Identity{Links: 6}
 	proc1 := singleHopProc(t, m, 6, 0.5)
-	fifores, err := sim.Run(sim.Config{Slots: 20000, Seed: 144}, m, proc1, NewFIFOGreedy(6))
+	fifores, err := sim.Run(context.Background(), sim.Config{Slots: 20000, Seed: 144}, m, proc1, NewFIFOGreedy(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestMACFallbackWastesParallelism(t *testing.T) {
 		t.Fatalf("FIFO greedy unstable on identity at 0.5: %+v", fifores.Verdict)
 	}
 	proc2 := singleHopProc(t, m, 6, 0.5)
-	fbres, err := sim.Run(sim.Config{Slots: 20000, Seed: 144}, m, proc2, NewMACFallback(6))
+	fbres, err := sim.Run(context.Background(), sim.Config{Slots: 20000, Seed: 144}, m, proc2, NewMACFallback(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestFIFOGreedyMultiHop(t *testing.T) {
 		t.Fatal(err)
 	}
 	proto := NewFIFOGreedy(g.NumLinks())
-	res, err := sim.Run(sim.Config{Slots: 20000, Seed: 145}, m, proc, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 20000, Seed: 145}, m, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestSISStableOnIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 	proto := NewSIS(g.NumLinks())
-	res, err := sim.Run(sim.Config{Slots: 20000, Seed: 146}, m, proc, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 20000, Seed: 146}, m, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,8 +4,6 @@
 package cli
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"math/rand"
 
@@ -16,13 +14,15 @@ import (
 	"dynsched/internal/netgraph"
 	"dynsched/internal/sinr"
 	"dynsched/internal/static"
+	"dynsched/internal/traffic"
 )
 
-// Options mirror cmd/dynsched's flags. The JSON tags let run
-// configurations be stored as spec files and loaded with ParseSpec.
+// Options mirror cmd/dynsched's flags; they compile into a Workload
+// via Build. (Persisted run configurations are dynsched.Scenario JSON
+// documents, parsed one level up by dynsched.ParseScenario.)
 type Options struct {
 	Model    string  `json:"model"`    // identity, mac, sinr-linear, sinr-uniform, sinr-power-control
-	Topology string  `json:"topology"` // line, grid, pairs, nested, mac, auto
+	Topology string  `json:"topology"` // line, grid, grid-convergecast, pairs, nested, mac, auto
 	Alg      string  `json:"alg"`      // full-parallel, decay, spread, densify, trivial, mac-decay, rrw, backoff, greedy-pc, auto
 	Nodes    int     `json:"nodes"`    // node count for line/grid
 	Links    int     `json:"links"`    // link count for pairs/nested/mac
@@ -33,19 +33,11 @@ type Options struct {
 	Adv      string  `json:"adversary"` // "", burst, spread, sawtooth, rotating
 	Window   int     `json:"window"`
 	LossP    float64 `json:"loss"`
-}
-
-// ParseSpec overlays a JSON run specification onto base (the flag
-// defaults): only keys present in the document override. Unknown keys
-// are rejected so typos fail loudly.
-func ParseSpec(data []byte, base Options) (Options, error) {
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	out := base
-	if err := dec.Decode(&out); err != nil {
-		return Options{}, fmt.Errorf("cli: parsing spec: %w", err)
-	}
-	return out, nil
+	// Frame overrides the protocol's frame length T (0 solves for it).
+	Frame int `json:"frame"`
+	// DisableDelays turns off the adversarial random initial delays
+	// (Section 5 ablation).
+	DisableDelays bool `json:"disableDelays"`
 }
 
 // Workload is the assembled simulation input.
@@ -60,7 +52,7 @@ type Workload struct {
 
 // Build assembles the workload from the options.
 func Build(o Options) (*Workload, error) {
-	g, model, paths, m, err := buildNetwork(o)
+	g, model, paths, m, hops, err := buildNetwork(o)
 	if err != nil {
 		return nil, err
 	}
@@ -99,9 +91,10 @@ func Build(o Options) (*Workload, error) {
 	}
 
 	proto, err := core.New(core.Config{
-		Model: model, Alg: alg, M: m,
+		Model: model, Alg: alg, M: m, T: o.Frame,
 		Lambda: o.Lambda, Eps: o.Eps,
-		Window: window, D: o.Hops, Seed: o.Seed,
+		Window: window, D: hops, Seed: o.Seed,
+		DisableDelays: o.DisableDelays,
 	})
 	if err != nil {
 		return nil, err
@@ -109,7 +102,7 @@ func Build(o Options) (*Workload, error) {
 	return &Workload{Graph: g, Model: model, Paths: paths, M: m, Protocol: proto, Process: proc}, nil
 }
 
-func buildNetwork(o Options) (*netgraph.Graph, interference.Model, []netgraph.Path, int, error) {
+func buildNetwork(o Options) (*netgraph.Graph, interference.Model, []netgraph.Path, int, int, error) {
 	rng := rand.New(rand.NewSource(o.Seed))
 	topology := o.Topology
 	if topology == "" || topology == "auto" {
@@ -125,6 +118,7 @@ func buildNetwork(o Options) (*netgraph.Graph, interference.Model, []netgraph.Pa
 
 	var g *netgraph.Graph
 	var paths []netgraph.Path
+	effHops := o.Hops
 	switch topology {
 	case "line":
 		g = netgraph.LineNetwork(o.Nodes, 1)
@@ -137,7 +131,7 @@ func buildNetwork(o Options) (*netgraph.Graph, interference.Model, []netgraph.Pa
 		}
 		p, ok := netgraph.ShortestPath(g, 0, netgraph.NodeID(hops))
 		if !ok {
-			return nil, nil, nil, 0, fmt.Errorf("no %d-hop path on line", hops)
+			return nil, nil, nil, 0, 0, fmt.Errorf("no %d-hop path on line", hops)
 		}
 		paths = []netgraph.Path{p}
 	case "grid":
@@ -148,6 +142,23 @@ func buildNetwork(o Options) (*netgraph.Graph, interference.Model, []netgraph.Pa
 		for _, pair := range [][2]netgraph.NodeID{{0, n}, {n, 0}} {
 			if p, ok := rt.Path(pair[0], pair[1]); ok {
 				paths = append(paths, p)
+			}
+		}
+	case "grid-convergecast":
+		// The sensor-network workload: every grid node routes to the
+		// sink at node 0; the path bound is the longest route.
+		side := intSqrt(o.Nodes)
+		g = netgraph.GridNetwork(side, side, 1)
+		rt := netgraph.NewRoutingTable(g)
+		effHops = 0
+		for v := netgraph.NodeID(1); int(v) < g.NumNodes(); v++ {
+			p, ok := rt.Path(v, 0)
+			if !ok {
+				return nil, nil, nil, 0, 0, fmt.Errorf("grid node %d cannot reach the sink", v)
+			}
+			paths = append(paths, p)
+			if len(p) > effHops {
+				effHops = len(p)
 			}
 		}
 	case "pairs":
@@ -166,13 +177,13 @@ func buildNetwork(o Options) (*netgraph.Graph, interference.Model, []netgraph.Pa
 			paths = append(paths, netgraph.Path{netgraph.LinkID(e)})
 		}
 	default:
-		return nil, nil, nil, 0, fmt.Errorf("unknown topology %q", topology)
+		return nil, nil, nil, 0, 0, fmt.Errorf("unknown topology %q", topology)
 	}
 	if len(paths) == 0 {
-		return nil, nil, nil, 0, fmt.Errorf("topology %q produced no paths", topology)
+		return nil, nil, nil, 0, 0, fmt.Errorf("topology %q produced no paths", topology)
 	}
 
-	inst := netgraph.NewInstance(g, o.Hops)
+	inst := netgraph.NewInstance(g, effHops)
 	var model interference.Model
 	switch o.Model {
 	case "identity":
@@ -187,24 +198,24 @@ func buildNetwork(o Options) (*netgraph.Graph, interference.Model, []netgraph.Pa
 		}
 		powers, err := sinr.Powers(g, prm, kind, 1)
 		if err != nil {
-			return nil, nil, nil, 0, err
+			return nil, nil, nil, 0, 0, err
 		}
 		prm.Noise = sinr.MaxNoise(g, prm, powers, 0.5)
 		fp, err := sinr.NewFixedPower(g, prm, powers, wk)
 		if err != nil {
-			return nil, nil, nil, 0, err
+			return nil, nil, nil, 0, 0, err
 		}
 		model = fp
 	case "sinr-power-control":
 		pc, err := sinr.NewPowerControl(g, sinr.DefaultParams())
 		if err != nil {
-			return nil, nil, nil, 0, err
+			return nil, nil, nil, 0, 0, err
 		}
 		model = pc
 	default:
-		return nil, nil, nil, 0, fmt.Errorf("unknown model %q", o.Model)
+		return nil, nil, nil, 0, 0, fmt.Errorf("unknown model %q", o.Model)
 	}
-	return g, model, paths, inst.M(), nil
+	return g, model, paths, inst.M(), effHops, nil
 }
 
 // PickAlgorithm resolves an algorithm name; "auto" chooses per model.
@@ -265,19 +276,10 @@ func ParseAdversary(s string) (inject.Timing, bool, error) {
 }
 
 // MultiPathStochastic builds a stochastic process over the given paths
-// at exactly rate lambda, splitting each path's load over enough
-// generators that super-critical rates remain expressible.
+// at exactly rate lambda. It is the traffic package's Paths workload,
+// re-exported under the CLI's historical name.
 func MultiPathStochastic(m interference.Model, paths []netgraph.Path, lambda float64) (*inject.Stochastic, error) {
-	perPath := int(lambda) + 2
-	var gens []inject.Generator
-	for _, p := range paths {
-		for i := 0; i < perPath; i++ {
-			gens = append(gens, inject.Generator{Choices: []inject.PathChoice{
-				{Path: p, P: 1.0 / float64(perPath+1)},
-			}})
-		}
-	}
-	return inject.StochasticAtRate(m, gens, lambda)
+	return traffic.Paths(m, paths, lambda)
 }
 
 func intSqrt(n int) int {

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestBuildEveryModel(t *testing.T) {
 			t.Fatalf("%s: incomplete workload", m)
 		}
 		// Every built workload must actually simulate.
-		res, err := sim.Run(sim.Config{Slots: 2000, Seed: 2}, w.Model, w.Process, w.Protocol)
+		res, err := sim.Run(context.Background(), sim.Config{Slots: 2000, Seed: 2}, w.Model, w.Process, w.Protocol)
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -45,7 +46,7 @@ func TestBuildEveryModel(t *testing.T) {
 }
 
 func TestBuildEveryTopology(t *testing.T) {
-	for _, topo := range []string{"line", "grid", "pairs", "nested", "mac"} {
+	for _, topo := range []string{"line", "grid", "grid-convergecast", "pairs", "nested", "mac"} {
 		o := defaults()
 		o.Topology = topo
 		o.Model = "identity"
@@ -138,32 +139,43 @@ func TestBuildRejectsOverload(t *testing.T) {
 	}
 }
 
-func TestParseSpec(t *testing.T) {
-	base := defaults()
-	out, err := ParseSpec([]byte(`{"model":"mac","lambda":0.7,"alg":"rrw"}`), base)
+func TestBuildFrameOverrideAndDelayAblation(t *testing.T) {
+	o := defaults()
+	o.Frame = 32
+	o.Adv = "burst"
+	o.DisableDelays = true
+	w, err := Build(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Model != "mac" || out.Lambda != 0.7 || out.Alg != "rrw" {
-		t.Fatalf("spec not applied: %+v", out)
+	if got := w.Protocol.Sizing().T; got != 32 {
+		t.Fatalf("frame override ignored: T=%d, want 32", got)
 	}
-	// Unspecified keys keep the base values.
-	if out.Nodes != base.Nodes || out.Eps != base.Eps {
-		t.Fatalf("base values lost: %+v", out)
+	if got := w.Protocol.Sizing().DelayMax; got != 0 {
+		t.Fatalf("delay ablation ignored: δmax=%d, want 0", got)
 	}
-	// Typos fail loudly.
-	if _, err := ParseSpec([]byte(`{"lamda":0.7}`), base); err == nil {
-		t.Fatal("unknown key accepted")
-	}
-	if _, err := ParseSpec([]byte(`{`), base); err == nil {
-		t.Fatal("malformed JSON accepted")
-	}
-	// A parsed spec builds end to end.
-	spec, err := ParseSpec([]byte(`{"model":"identity","topology":"line","lambda":0.3}`), base)
+}
+
+func TestBuildGridConvergecastPaths(t *testing.T) {
+	o := defaults()
+	o.Topology = "grid-convergecast"
+	o.Nodes = 9
+	w, err := Build(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Build(spec); err != nil {
-		t.Fatal(err)
+	// 3×3 grid: 8 non-sink nodes, one route each.
+	if len(w.Paths) != 8 {
+		t.Fatalf("got %d convergecast paths, want 8", len(w.Paths))
+	}
+	// The corner-to-corner route is 4 hops; M = max(|E|, D).
+	maxHops := 0
+	for _, p := range w.Paths {
+		if len(p) > maxHops {
+			maxHops = len(p)
+		}
+	}
+	if maxHops != 4 {
+		t.Fatalf("longest route %d hops, want 4", maxHops)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestStableOnIdentityLine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(sim.Config{Slots: 40000, Seed: 131}, model, proc, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 40000, Seed: 131}, model, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestLatencyLinearInFrames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(sim.Config{Slots: 60000, Seed: 132, WarmupFrac: 0.2}, model, proc, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 60000, Seed: 132, WarmupFrac: 0.2}, model, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestStableOnMACWithRRW(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(sim.Config{Slots: 50000, Seed: 133}, m, proc, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 50000, Seed: 133}, m, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestOverloadIsUnstable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(sim.Config{Slots: 30000, Seed: 134}, model, proc, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 30000, Seed: 134}, model, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestCleanupRecoversLostPackets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(sim.Config{Slots: 120000, Seed: 136}, model, proc, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 120000, Seed: 136}, model, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestDisableCleanupStrandsFailedPackets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sim.Run(sim.Config{Slots: 60000, Seed: 138}, model, proc, proto); err != nil {
+	if _, err := sim.Run(context.Background(), sim.Config{Slots: 60000, Seed: 138}, model, proc, proto); err != nil {
 		t.Fatal(err)
 	}
 	if proto.Failures == 0 {
@@ -239,7 +240,7 @@ func TestAdversarialWrapperStable(t *testing.T) {
 	if proto.Sizing().DelayMax != 8 {
 		t.Fatalf("DelayMax = %d, want 8", proto.Sizing().DelayMax)
 	}
-	res, err := sim.Run(sim.Config{Slots: 60000, Seed: 140}, model, adv, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 60000, Seed: 140}, model, adv, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestRecentFrames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sim.Run(sim.Config{Slots: 5000, Seed: 161}, model, proc, proto); err != nil {
+	if _, err := sim.Run(context.Background(), sim.Config{Slots: 5000, Seed: 161}, model, proc, proto); err != nil {
 		t.Fatal(err)
 	}
 	frames := proto.RecentFrames(10)
@@ -340,7 +341,7 @@ func TestDynamicWithMeasureBoundedAlgorithms(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", alg.Name(), err)
 		}
-		res, err := sim.Run(sim.Config{Slots: 60 * int64(proto.Sizing().T), Seed: 163}, model, proc, proto)
+		res, err := sim.Run(context.Background(), sim.Config{Slots: 60 * int64(proto.Sizing().T), Seed: 163}, model, proc, proto)
 		if err != nil {
 			t.Fatal(err)
 		}

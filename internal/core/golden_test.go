@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"dynsched/internal/inject"
@@ -34,7 +35,7 @@ func TestGoldenRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(sim.Config{Slots: 10000, Seed: 424242}, model, proc, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 10000, Seed: 424242}, model, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}

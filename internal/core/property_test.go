@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -39,7 +40,7 @@ func TestConservationProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := sim.Run(sim.Config{Slots: 4000, Seed: seed}, model, proc, proto)
+		res, err := sim.Run(context.Background(), sim.Config{Slots: 4000, Seed: seed}, model, proc, proto)
 		if err != nil {
 			return false
 		}
@@ -175,7 +176,7 @@ func TestDeterministicUnderSeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sim.Run(sim.Config{Slots: 6000, Seed: 78}, model, proc, proto)
+		res, err := sim.Run(context.Background(), sim.Config{Slots: 6000, Seed: 78}, model, proc, proto)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"dynsched/internal/sinr"
@@ -13,7 +14,7 @@ import (
 // per-unit-of-I cost keeps growing with the packet count. The workload
 // is a fixed SINR network with linear powers and k packets on every
 // link, k doubling across rows.
-func E1Densify(scale Scale, seed int64) (*Table, error) {
+func E1Densify(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	numLinks := 24
 	perLinkSteps := []int{1, 4, 16, 64}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"dynsched/internal/core"
@@ -16,7 +17,7 @@ import (
 // selecting too aggressively causes collisions between clean-up
 // packets, selecting never starves them. Workload: identity-model line
 // with a 2% lossy channel to generate a steady failure stream.
-func E10Ablation(scale Scale, seed int64) (*Table, error) {
+func E10Ablation(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	slots := int64(150000)
 	if scale == Quick {
 		slots = 40000
@@ -70,7 +71,7 @@ func E10Ablation(scale Scale, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(sim.Config{Slots: slots, Seed: seed + int64(i)}, model, proc, proto)
+		res, err := sim.Run(ctx, sim.Config{Slots: slots, Seed: seed + int64(i)}, model, proc, proto)
 		if err != nil {
 			return nil, err
 		}

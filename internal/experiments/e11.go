@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"dynsched/internal/core"
@@ -17,7 +18,7 @@ import (
 // rate degrades at most poly-logarithmically in m. The physical side
 // really solves for joint power vectors — transmissions succeed only if
 // a feasible power assignment exists for the scheduled set.
-func E11PowerControl(scale Scale, seed int64) (*Table, error) {
+func E11PowerControl(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	sizes := []int{8, 16, 32}
 	slots := int64(40000)
 	if scale == Quick {
@@ -43,7 +44,7 @@ func E11PowerControl(scale Scale, seed int64) (*Table, error) {
 			return nil, err
 		}
 		alg := static.GreedyPowerControl{}
-		best, err := maxStableRate(rates, slots, seed, model,
+		best, err := maxStableRate(ctx, rates, slots, seed, model,
 			func(lambda float64) (sim.Protocol, inject.Process, error) {
 				proto, err := core.New(core.Config{
 					Model: model, Alg: alg, M: m, Lambda: lambda, Eps: 0.25, Seed: seed,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"dynsched/internal/capacity"
@@ -18,7 +19,7 @@ import (
 // inductive independence ρ, so the framework yields stable protocols
 // whose measure-rate does not collapse with size — and the single-slot
 // capacity reference shows how much parallelism radio semantics leave.
-func E12Radio(scale Scale, seed int64) (*Table, error) {
+func E12Radio(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	sides := []int{3, 4, 5}
 	slots := int64(40000)
 	if scale == Quick {
@@ -48,7 +49,7 @@ func E12Radio(scale Scale, seed int64) (*Table, error) {
 		cap := capacity.SlotCapacity(rng, model)
 
 		alg := static.Spread{}
-		best, err := maxStableRate(rates, slots, seed, model,
+		best, err := maxStableRate(ctx, rates, slots, seed, model,
 			func(lambda float64) (sim.Protocol, inject.Process, error) {
 				proto, err := core.New(core.Config{
 					Model: model, Alg: alg, M: g.NumLinks(),

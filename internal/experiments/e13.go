@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"dynsched/internal/capacity"
@@ -19,7 +20,7 @@ import (
 // doubling dimension grows with m, giving only O(log²m)). The same
 // power-control machinery runs over both — the library's metric
 // abstraction is exactly the paper's.
-func E13Metrics(scale Scale, seed int64) (*Table, error) {
+func E13Metrics(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	sizes := []int{8, 16, 24}
 	slots := int64(40000)
 	if scale == Quick {
@@ -48,7 +49,7 @@ func E13Metrics(scale Scale, seed int64) (*Table, error) {
 		rng := rand.New(rand.NewSource(seed + int64(m)))
 		cap := capacity.SlotCapacity(rng, model)
 		alg := static.GreedyPowerControl{}
-		best, err := maxStableRate(rates, slots, seed, model,
+		best, err := maxStableRate(ctx, rates, slots, seed, model,
 			func(lambda float64) (sim.Protocol, inject.Process, error) {
 				proto, err := core.New(core.Config{
 					Model: model, Alg: alg, M: m, Lambda: lambda, Eps: 0.25, Seed: seed,

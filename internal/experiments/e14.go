@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"dynsched/internal/baseline"
@@ -25,7 +26,7 @@ import (
 //
 // Two workloads: a packet-routing line (everyone should be stable) and
 // a SINR pairs network (only interference-aware protocols survive).
-func E14Baselines(scale Scale, seed int64) (*Table, error) {
+func E14Baselines(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	slots := int64(60000)
 	if scale == Quick {
 		slots = 16000
@@ -46,7 +47,7 @@ func E14Baselines(scale Scale, seed int64) (*Table, error) {
 
 	run := func(workload string, model interference.Model, trace *inject.Trace, cs []contender) error {
 		for _, c := range cs {
-			res, err := sim.Run(sim.Config{Slots: slots, Seed: seed}, model, trace.Replay(), c.build())
+			res, err := sim.Run(ctx, sim.Config{Slots: slots, Seed: seed}, model, trace.Replay(), c.build())
 			if err != nil {
 				return err
 			}

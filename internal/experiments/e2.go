@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"dynsched/internal/capacity"
@@ -15,7 +16,7 @@ import (
 // (λ < 1/f(m)), and degrades to unbounded queues once the offered load
 // exceeds the provisioning. Workload: single-hop SINR traffic with
 // linear powers; the protocol wraps the Spread algorithm.
-func E2Stability(scale Scale, seed int64) (*Table, error) {
+func E2Stability(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	numLinks := 24
 	frames := int64(80)
@@ -81,7 +82,7 @@ func E2Stability(scale Scale, seed int64) (*Table, error) {
 			rowFrames = frames / 4
 		}
 		slots := rowFrames * int64(proto.Sizing().T)
-		res, err := sim.Run(sim.Config{Slots: slots, Seed: seed + int64(frac*100)}, model, proc, proto)
+		res, err := sim.Run(ctx, sim.Config{Slots: slots, Seed: seed + int64(frac*100)}, model, proc, proto)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"dynsched/internal/core"
 	"dynsched/internal/interference"
 	"dynsched/internal/netgraph"
@@ -13,7 +14,7 @@ import (
 // (packet-routing) model with paths of doubling hop counts; the table
 // reports latency/(d·T), which the theorem predicts to be a constant
 // (≈ 1, since an unfailed packet takes one hop per frame).
-func E3Latency(scale Scale, seed int64) (*Table, error) {
+func E3Latency(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	hops := []int{1, 2, 4, 8, 16}
 	slots := int64(120000)
 	if scale == Quick {
@@ -51,7 +52,7 @@ func E3Latency(scale Scale, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := sim.Replicate(sim.Config{
+		rep, err := sim.Replicate(ctx, sim.Config{
 			Slots: slots, Seed: seed + int64(d), WarmupFrac: 0.2,
 		}, reps, func(r int, repSeed int64) (sim.RunInput, error) {
 			proto, err := core.New(core.Config{

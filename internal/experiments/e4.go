@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"dynsched/internal/core"
 	"dynsched/internal/inject"
 	"dynsched/internal/interference"
@@ -14,7 +15,7 @@ import (
 // below its provisioning, regardless of the adversary's timing pattern.
 // It also runs the delays-off ablation: burstiness then hits a single
 // frame and failures spike.
-func E4Adversarial(scale Scale, seed int64) (*Table, error) {
+func E4Adversarial(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	slots := int64(80000)
 	w := 64
 	if scale == Quick {
@@ -53,7 +54,7 @@ func E4Adversarial(scale Scale, seed int64) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := sim.Run(sim.Config{Slots: slots, Seed: seed + int64(timing)}, model, adv, proto)
+		res, err := sim.Run(ctx, sim.Config{Slots: slots, Seed: seed + int64(timing)}, model, adv, proto)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"dynsched/internal/capacity"
@@ -17,7 +18,7 @@ import (
 // not degrade as the network grows. (The lower bound of [21] says any
 // single-slot feasible set has measure O(1) under linear powers, so the
 // optimum is O(1) measure units per slot.)
-func E5LinearPower(scale Scale, seed int64) (*Table, error) {
+func E5LinearPower(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	sizes := []int{8, 16, 32, 64}
 	slots := int64(30000)
 	if scale == Quick {
@@ -44,7 +45,7 @@ func E5LinearPower(scale Scale, seed int64) (*Table, error) {
 		// the largest measure a single feasible slot carries.
 		opt := capacity.MaxFeasibleMeasure(rng, model, 24)
 		alg := static.Spread{}
-		best, err := maxStableRate(rates, slots, seed, model,
+		best, err := maxStableRate(ctx, rates, slots, seed, model,
 			func(lambda float64) (sim.Protocol, inject.Process, error) {
 				proto, err := core.New(core.Config{
 					Model: model, Alg: alg, M: m, Lambda: lambda, Eps: 0.25, Seed: seed,

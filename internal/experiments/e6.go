@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -20,7 +21,7 @@ import (
 // rate per family and size; the paper predicts
 // λ*(linear) ≥ λ*(sqrt) ≥ λ*(uniform), with the uniform/sqrt columns
 // allowed to decay like 1/log²m but no faster.
-func E6UniformPower(scale Scale, seed int64) (*Table, error) {
+func E6UniformPower(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	sizes := []int{8, 16, 32, 64}
 	slots := int64(30000)
 	if scale == Quick {
@@ -76,7 +77,7 @@ func E6UniformPower(scale Scale, seed int64) (*Table, error) {
 				return nil, err
 			}
 			alg := static.Spread{}
-			best, err := maxStableRate(rates, slots, seed, model,
+			best, err := maxStableRate(ctx, rates, slots, seed, model,
 				func(lambda float64) (sim.Protocol, inject.Process, error) {
 					proto, err := core.New(core.Config{
 						Model: model, Alg: alg, M: m, Lambda: lambda, Eps: 0.25, Seed: seed,
@@ -133,7 +134,7 @@ func E6UniformPower(scale Scale, seed int64) (*Table, error) {
 				return nil, err
 			}
 			alg := static.Spread{}
-			best, err := maxStableRate(rates, slots, seed, model,
+			best, err := maxStableRate(ctx, rates, slots, seed, model,
 				func(lambda float64) (sim.Protocol, inject.Process, error) {
 					proto, err := core.New(core.Config{
 						Model: model, Alg: alg, M: m, Lambda: lambda, Eps: 0.25, Seed: seed,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"dynsched/internal/core"
 	"dynsched/internal/interference"
 	"dynsched/internal/mac"
@@ -18,7 +19,7 @@ import (
 // that still leaves (1+ε)λ < 1 — and a frame length that combines the
 // fixed-point equation with the concentration bound, mirroring the
 // paper's "sufficiently large T" requirement.
-func E7MAC(scale Scale, seed int64) (*Table, error) {
+func E7MAC(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	stations := 8
 	minFrames := int64(60)
 	if scale == Quick {
@@ -39,17 +40,17 @@ func E7MAC(scale Scale, seed int64) (*Table, error) {
 		ok      bool
 		skipped bool
 	}
-	probe := func(alg static.Algorithm, lambda, overload float64) outcome {
+	probe := func(alg static.Algorithm, lambda, overload float64) (outcome, error) {
 		eps := (1/lambda - 1) / 2
 		if eps > 0.3 {
 			eps = 0.3
 		}
 		if eps <= 0 {
-			return outcome{skipped: true}
+			return outcome{skipped: true}, nil
 		}
 		tMin, err := core.SolveFrameLength(alg, stations, stations, lambda, eps)
 		if err != nil {
-			return outcome{skipped: true} // frame equation diverges: over the throughput ceiling
+			return outcome{skipped: true}, nil // frame equation diverges: over the throughput ceiling
 		}
 		t := core.ConcentrationFrameLength(lambda, eps, 4.5)
 		if tMin > t {
@@ -60,7 +61,7 @@ func E7MAC(scale Scale, seed int64) (*Table, error) {
 			Lambda: lambda, Eps: eps, T: t, Seed: seed,
 		})
 		if err != nil {
-			return outcome{skipped: true}
+			return outcome{skipped: true}, nil
 		}
 		rate := lambda
 		if overload > 0 {
@@ -68,14 +69,16 @@ func E7MAC(scale Scale, seed int64) (*Table, error) {
 		}
 		proc, err := singleHopGenerators(model, rate)
 		if err != nil {
-			return outcome{skipped: true}
+			return outcome{}, err
 		}
 		slots := minFrames * int64(t)
-		res, err := sim.Run(sim.Config{Slots: slots, Seed: seed}, model, proc, proto)
+		res, err := sim.Run(ctx, sim.Config{Slots: slots, Seed: seed}, model, proc, proto)
 		if err != nil {
-			return outcome{skipped: true}
+			// A cancelled simulation must not masquerade as a probed
+			// ceiling: surface the error so the table is dropped.
+			return outcome{}, err
 		}
-		return outcome{ok: res.Verdict.Stable}
+		return outcome{ok: res.Verdict.Stable}, nil
 	}
 	render := func(o outcome) string {
 		if o.skipped {
@@ -87,13 +90,22 @@ func E7MAC(scale Scale, seed int64) (*Table, error) {
 	symmetric := mac.Decay{Delta: 0.5}
 	asymmetric := mac.RoundRobinWithholding{}
 	for _, lambda := range []float64{0.05, 0.10, 0.15, 0.20, 0.45, 0.70, 0.85} {
-		sym := probe(symmetric, lambda, 0)
-		asym := probe(asymmetric, lambda, 0)
+		sym, err := probe(symmetric, lambda, 0)
+		if err != nil {
+			return nil, err
+		}
+		asym, err := probe(asymmetric, lambda, 0)
+		if err != nil {
+			return nil, err
+		}
 		tbl.AddRow(fmtF(lambda), render(sym), render(asym))
 	}
 	// Overload: provision RRW for 0.85 but drive at 1.2 packets/slot to
 	// show the channel capacity binds for everyone.
-	over := probe(asymmetric, 0.85, 1.2)
+	over, err := probe(asymmetric, 0.85, 1.2)
+	if err != nil {
+		return nil, err
+	}
 	tbl.AddRow("1.200", "-", render(over))
 	tbl.AddNote("symmetric protocol uses δ=0.5 (Algorithm 2's round schedule self-sustains only " +
 		"for e^{-1/(1-q)} ≥ q, i.e. δ ≳ 0.45); its ceiling is thus ≈ 1/((1+δ)(1+ε)e) ≈ 0.19 — a " +

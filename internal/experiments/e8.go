@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -14,7 +15,7 @@ import (
 // with high probability. The workload uses node-constraint conflict
 // graphs of random geometric networks; the normalized column
 // slots/(I·ln n) should stay roughly constant across sizes.
-func E8ConflictGraph(scale Scale, seed int64) (*Table, error) {
+func E8ConflictGraph(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	loads := []int{4, 16, 64, 256}
 	numNodes := 24
 	reps := 3

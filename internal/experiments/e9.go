@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"dynsched/internal/lowerbound"
@@ -12,7 +13,7 @@ import (
 // silence, a global clock makes even/odd TDM stable at per-link rate
 // 0.45, while the natural local-clock acknowledgement-based protocol
 // starves the long link already at λ = ln m / m — a Θ(m/ln m) gap.
-func E9LowerBound(scale Scale, seed int64) (*Table, error) {
+func E9LowerBound(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	sizes := []int{16, 64, 256}
 	slots := int64(60000)
 	if scale == Quick {
@@ -43,7 +44,7 @@ func E9LowerBound(scale Scale, seed int64) (*Table, error) {
 			return nil, err
 		}
 		tdm := lowerbound.NewGlobalTDM(model)
-		tdmRes, err := sim.Run(sim.Config{Slots: slots, Seed: seed + int64(m)}, model, tdmProc, tdm)
+		tdmRes, err := sim.Run(ctx, sim.Config{Slots: slots, Seed: seed + int64(m)}, model, tdmProc, tdm)
 		if err != nil {
 			return nil, err
 		}
@@ -54,7 +55,7 @@ func E9LowerBound(scale Scale, seed int64) (*Table, error) {
 			return nil, err
 		}
 		loc := lowerbound.NewLocalGreedy(model)
-		locRes, err := sim.Run(sim.Config{Slots: slots, Seed: seed + int64(m)}, model, locProc, loc)
+		locRes, err := sim.Run(ctx, sim.Config{Slots: slots, Seed: seed + int64(m)}, model, locProc, loc)
 		if err != nil {
 			return nil, err
 		}

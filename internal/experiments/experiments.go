@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -143,7 +144,7 @@ func writeCSVRow(b *strings.Builder, cells []string) {
 type Runner struct {
 	ID   string
 	Name string
-	Run  func(scale Scale, seed int64) (*Table, error)
+	Run  func(ctx context.Context, scale Scale, seed int64) (*Table, error)
 }
 
 // All returns every experiment in order.

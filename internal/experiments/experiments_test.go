@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ func runQuick(t *testing.T, id string) *Table {
 	if !ok {
 		t.Fatalf("experiment %s not registered", id)
 	}
-	tbl, err := r.Run(Quick, 7)
+	tbl, err := r.Run(context.Background(), Quick, 7)
 	if err != nil {
 		t.Fatalf("%s failed: %v", id, err)
 	}

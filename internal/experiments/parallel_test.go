@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -19,8 +20,8 @@ func TestRunAllParallelBitIdentical(t *testing.T) {
 		}
 		runners = append(runners, r)
 	}
-	serial := RunAll(runners, Quick, 7, 1)
-	parallel := RunAll(runners, Quick, 7, 8)
+	serial := RunAll(context.Background(), runners, Quick, 7, 1)
+	parallel := RunAll(context.Background(), runners, Quick, 7, 8)
 	if len(serial) != len(parallel) {
 		t.Fatalf("outcome counts differ: %d vs %d", len(serial), len(parallel))
 	}
@@ -43,11 +44,11 @@ func TestRunAllParallelBitIdentical(t *testing.T) {
 // TestRunAllReportsErrors checks that a failing runner surfaces its
 // error without disturbing its neighbours.
 func TestRunAllReportsErrors(t *testing.T) {
-	boom := Runner{ID: "EX", Name: "exploding", Run: func(Scale, int64) (*Table, error) {
+	boom := Runner{ID: "EX", Name: "exploding", Run: func(context.Context, Scale, int64) (*Table, error) {
 		return nil, errSentinel
 	}}
 	ok, _ := ByID("E1")
-	out := RunAll([]Runner{boom, ok}, Quick, 1, 2)
+	out := RunAll(context.Background(), []Runner{boom, ok}, Quick, 1, 2)
 	if out[0].Err != errSentinel {
 		t.Errorf("runner error not surfaced: %v", out[0].Err)
 	}
@@ -61,3 +62,17 @@ type sentinelError struct{}
 func (sentinelError) Error() string { return "sentinel" }
 
 var errSentinel = sentinelError{}
+
+// TestRunAllCancelled checks a cancelled context skips unstarted
+// experiments and marks them with the context error.
+func TestRunAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, _ := ByID("E1")
+	out := RunAll(ctx, []Runner{r, r}, Quick, 1, 1)
+	for i := range out {
+		if out[i].Err == nil {
+			t.Errorf("outcome %d has no error despite pre-cancelled context", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -84,6 +85,7 @@ func multiHopGenerators(m interference.Model, paths []netgraph.Path, lambda floa
 // rates (ascending) it provisions a protocol via build and simulates;
 // it returns the largest stable rate, or 0 if none is.
 func maxStableRate(
+	ctx context.Context,
 	rates []float64,
 	slots int64,
 	seed int64,
@@ -97,7 +99,7 @@ func maxStableRate(
 			// Frame divergence: the algorithm cannot sustain this rate.
 			break
 		}
-		res, err := sim.Run(sim.Config{Slots: slots, Seed: seed}, model, proc, proto)
+		res, err := sim.Run(ctx, sim.Config{Slots: slots, Seed: seed}, model, proc, proto)
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package lowerbound
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestGlobalTDMStableBelowHalf(t *testing.T) {
 		t.Fatal(err)
 	}
 	proto := NewGlobalTDM(model)
-	res, err := sim.Run(sim.Config{Slots: 40000, Seed: 151}, model, proc, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 40000, Seed: 151}, model, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestLocalGreedyStarvesLongLink(t *testing.T) {
 		t.Fatal(err)
 	}
 	proto := NewLocalGreedy(model)
-	res, err := sim.Run(sim.Config{Slots: 60000, Seed: 152}, model, proc, proto)
+	res, err := sim.Run(context.Background(), sim.Config{Slots: 60000, Seed: 152}, model, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestLocalGreedyStarvesLongLink(t *testing.T) {
 		t.Fatal(err)
 	}
 	tdm := NewGlobalTDM(model)
-	res2, err := sim.Run(sim.Config{Slots: 60000, Seed: 152}, model, proc2, tdm)
+	res2, err := sim.Run(context.Background(), sim.Config{Slots: 60000, Seed: 152}, model, proc2, tdm)
 	if err != nil {
 		t.Fatal(err)
 	}

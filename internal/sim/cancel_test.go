@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"context"
+	"dynsched/internal/interference"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunCancelledMidRun cancels the context from another goroutine
+// while the engine is inside a run far too long to ever finish, and
+// checks Run returns promptly with a partial result. Run under -race
+// this also proves the engine/canceller interaction is race-clean.
+func TestRunCancelledMidRun(t *testing.T) {
+	m := interference.Identity{Links: 2}
+	proc := singleHopProcess(t, m, 2, 0.1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, Config{Slots: 1 << 40, Seed: 3}, m, proc, newFifoProto(2))
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned no partial result")
+	}
+	if res.Slots <= 0 || res.Slots >= 1<<40 {
+		t.Errorf("partial result executed %d slots", res.Slots)
+	}
+	if res.Delivered+res.InFlight != res.Injected {
+		t.Errorf("partial result violates conservation: %d+%d != %d",
+			res.Delivered, res.InFlight, res.Injected)
+	}
+	// Partial metrics are still composed: the queue series exists and
+	// ends at the last executed slot.
+	if res.Queue.Len() == 0 {
+		t.Error("partial result has empty queue series")
+	} else if last := res.Queue.T[res.Queue.Len()-1]; int64(last) != res.Slots-1 {
+		t.Errorf("queue series ends at t=%v, want %d", last, res.Slots-1)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestRunDeadlineExceeded drives cancellation through a deadline.
+func TestRunDeadlineExceeded(t *testing.T) {
+	m := interference.Identity{Links: 1}
+	proc := singleHopProcess(t, m, 1, 0.1)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	res, err := Run(ctx, Config{Slots: 1 << 40, Seed: 4}, m, proc, newFifoProto(1))
+	if err == nil {
+		t.Fatal("deadline-exceeded run returned no error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	if res == nil || res.Slots <= 0 {
+		t.Fatal("no partial result")
+	}
+}
+
+// TestReplicateCancelled cancels mid-replication on a parallel pool and
+// checks the partial aggregate comes back with a wrapping error.
+func TestReplicateCancelled(t *testing.T) {
+	m := interference.Identity{Links: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	res, err := Replicate(ctx, Config{Slots: 1 << 40, Seed: 5, Parallel: 4}, 64,
+		func(rep int, seed int64) (RunInput, error) {
+			return RunInput{Model: m, Process: singleHopProcess(t, m, 2, 0.1), Protocol: newFifoProto(2)}, nil
+		})
+	if err == nil {
+		t.Fatal("cancelled replicate returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("no partial replicate result")
+	}
+	if len(res.Runs) >= 64 {
+		t.Errorf("expected a strict subset of replications, got %d/64", len(res.Runs))
+	}
+}
+
+// TestReplicateCompletesWithAliveContext pins that a live context
+// changes nothing: all replications complete and aggregate.
+func TestReplicateCompletesWithAliveContext(t *testing.T) {
+	m := interference.Identity{Links: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := Replicate(ctx, Config{Slots: 500, Seed: 6, Parallel: 2}, 3,
+		func(rep int, seed int64) (RunInput, error) {
+			return RunInput{Model: m, Process: singleHopProcess(t, m, 2, 0.1), Protocol: newFifoProto(2)}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(res.Runs))
+	}
+}

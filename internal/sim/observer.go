@@ -1,0 +1,139 @@
+// The observer pipeline: metrics are not baked into the engine loop but
+// collected by Observer values the engine notifies at each lifecycle
+// point. The stock observers below reproduce the classic latency, queue
+// and per-link metrics and write them into Result on OnEnd; callers can
+// attach custom observers (per-window adversary accounting, frame
+// occupancy traces, …) to Run without touching the engine.
+package sim
+
+import (
+	"dynsched/internal/inject"
+	"dynsched/internal/stats"
+)
+
+// SlotView is the snapshot of one resolved slot handed to observers.
+// The Tx and Success slices are only valid for the duration of the
+// OnSlot call — the engine reuses them across slots; copy what you keep.
+type SlotView struct {
+	// Tx holds the validated transmissions the protocol attempted this
+	// slot; Success[i] reports whether Tx[i] went through.
+	Tx      []Transmission
+	Success []bool
+	// InFlight is the number of packets still queued after this slot's
+	// deliveries.
+	InFlight int
+}
+
+// Delivery describes one packet reaching the end of its path.
+type Delivery struct {
+	PacketID int64
+	Link     int   // the final link of the packet's path
+	Injected int64 // the slot the packet was injected at
+	PathLen  int   // hops travelled end to end
+}
+
+// Observer receives simulation lifecycle events. Implementations are
+// driven from the engine goroutine only, so they need no locking; a
+// replicated run gets a fresh observer per replication (see RunInput).
+type Observer interface {
+	// OnInject is called after the protocol received the slot's injected
+	// packets (only on slots that inject at least one).
+	OnInject(t int64, pkts []inject.Packet)
+	// OnSlot is called at the end of every slot, after feedback.
+	OnSlot(t int64, v SlotView)
+	// OnDeliver is called once per packet delivered, before OnSlot.
+	OnDeliver(t int64, d Delivery)
+	// OnEnd is called once when the run finishes (or is cancelled), in
+	// attachment order — stock observers have filled Result's metric
+	// fields by the time custom observers run.
+	OnEnd(r *Result)
+}
+
+// BaseObserver is a no-op Observer for embedding, so custom observers
+// only implement the events they care about.
+type BaseObserver struct{}
+
+// OnInject implements Observer.
+func (BaseObserver) OnInject(int64, []inject.Packet) {}
+
+// OnSlot implements Observer.
+func (BaseObserver) OnSlot(int64, SlotView) {}
+
+// OnDeliver implements Observer.
+func (BaseObserver) OnDeliver(int64, Delivery) {}
+
+// OnEnd implements Observer.
+func (BaseObserver) OnEnd(*Result) {}
+
+// latencyObserver reproduces the packet-latency metrics: a histogram of
+// end-to-end latencies and a per-hop latency summary, excluding
+// deliveries during the warm-up period.
+type latencyObserver struct {
+	BaseObserver
+	warmupEnd int64
+	hist      *stats.Histogram
+	hop       stats.Summary
+}
+
+func (o *latencyObserver) OnDeliver(t int64, d Delivery) {
+	if t < o.warmupEnd {
+		return
+	}
+	lat := float64(t - d.Injected + 1)
+	o.hist.Add(lat)
+	o.hop.Add(lat / float64(d.PathLen))
+}
+
+func (o *latencyObserver) OnEnd(r *Result) {
+	r.Latency = o.hist
+	r.HopLatency = o.hop
+}
+
+// queueObserver samples the in-flight packet count every `sample` slots
+// and always includes the final executed slot, so the series never ends
+// mid-run; the stability verdict is fitted over the sampled series.
+type queueObserver struct {
+	BaseObserver
+	sample int64
+	series stats.Series
+	lastT  int64
+	lastV  float64
+	seen   bool
+}
+
+func (o *queueObserver) OnSlot(t int64, v SlotView) {
+	o.lastT, o.lastV, o.seen = t, float64(v.InFlight), true
+	if t%o.sample == 0 {
+		o.series.Append(float64(t), float64(v.InFlight))
+	}
+}
+
+func (o *queueObserver) OnEnd(r *Result) {
+	if o.seen && o.lastT%o.sample != 0 {
+		o.series.Append(float64(o.lastT), o.lastV)
+	}
+	r.Queue = o.series
+	r.Verdict = o.series.Stability()
+}
+
+// linkObserver accumulates per-link attempt and service counts, the
+// inputs of LinkUtilization and FairnessIndex.
+type linkObserver struct {
+	BaseObserver
+	served   []int64
+	attempts []int64
+}
+
+func (o *linkObserver) OnSlot(t int64, v SlotView) {
+	for i, tx := range v.Tx {
+		o.attempts[tx.Link]++
+		if v.Success[i] {
+			o.served[tx.Link]++
+		}
+	}
+}
+
+func (o *linkObserver) OnEnd(r *Result) {
+	r.PerLinkServed = o.served
+	r.PerLinkAttempts = o.attempts
+}

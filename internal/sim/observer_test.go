@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"dynsched/internal/inject"
+	"dynsched/internal/interference"
+)
+
+// countingObserver is a custom observer exercising every hook: it
+// re-derives the engine's own counters from the event stream.
+type countingObserver struct {
+	BaseObserver
+	injected  int64
+	delivered int64
+	attempted int64
+	succeeded int64
+	slots     int64
+	lastQ     int
+	ended     bool
+}
+
+func (o *countingObserver) OnInject(t int64, pkts []inject.Packet) {
+	o.injected += int64(len(pkts))
+}
+
+func (o *countingObserver) OnSlot(t int64, v SlotView) {
+	o.slots++
+	o.attempted += int64(len(v.Tx))
+	for _, s := range v.Success {
+		if s {
+			o.succeeded++
+		}
+	}
+	o.lastQ = v.InFlight
+}
+
+func (o *countingObserver) OnDeliver(t int64, d Delivery) { o.delivered++ }
+
+func (o *countingObserver) OnEnd(r *Result) { o.ended = true }
+
+func TestCustomObserverSeesEveryEvent(t *testing.T) {
+	m := interference.Identity{Links: 3}
+	proc := singleHopProcess(t, m, 3, 0.3)
+	obs := &countingObserver{}
+	res, err := Run(context.Background(), Config{Slots: 3000, Seed: 99}, m, proc, newFifoProto(3), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.ended {
+		t.Fatal("OnEnd never called")
+	}
+	if obs.injected != res.Injected {
+		t.Errorf("observer saw %d injected, engine %d", obs.injected, res.Injected)
+	}
+	if obs.delivered != res.Delivered {
+		t.Errorf("observer saw %d delivered, engine %d", obs.delivered, res.Delivered)
+	}
+	if obs.attempted != res.AttemptedTx || obs.succeeded != res.SuccessfulTx {
+		t.Errorf("observer saw %d/%d tx, engine %d/%d",
+			obs.succeeded, obs.attempted, res.SuccessfulTx, res.AttemptedTx)
+	}
+	if obs.slots != res.Slots {
+		t.Errorf("observer saw %d slots, engine ran %d", obs.slots, res.Slots)
+	}
+	if int64(obs.lastQ) != res.InFlight {
+		t.Errorf("final in-flight mismatch: observer %d, engine %d", obs.lastQ, res.InFlight)
+	}
+}
+
+func TestQueueSeriesIncludesFinalSlot(t *testing.T) {
+	m := interference.Identity{Links: 2}
+	proc := singleHopProcess(t, m, 2, 0.3)
+	// 1000 slots at SampleEvery 300 samples t=0,300,600,900; the fix
+	// appends the final slot 999 so the series covers the whole run.
+	res, err := Run(context.Background(), Config{Slots: 1000, Seed: 7, SampleEvery: 300},
+		m, proc, newFifoProto(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queue.Len() != 5 {
+		t.Fatalf("got %d samples, want 5 (4 periodic + final slot)", res.Queue.Len())
+	}
+	if last := res.Queue.T[res.Queue.Len()-1]; last != 999 {
+		t.Errorf("final sample at t=%v, want 999", last)
+	}
+	// When the final slot falls on the sampling grid it must not be
+	// duplicated: 1001 slots at period 250 sample t=0,250,500,750,1000 —
+	// the final slot 1000 is already on the grid, so OnEnd appends
+	// nothing.
+	res2, err := Run(context.Background(), Config{Slots: 1001, Seed: 7, SampleEvery: 250},
+		m, proc, newFifoProto(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res2.Queue.T
+	if len(ts) != 5 {
+		t.Fatalf("got %d samples, want 5 (no duplicated final slot): %v", len(ts), ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("non-monotone sample times %v", ts)
+		}
+	}
+	if last := ts[len(ts)-1]; last != 1000 {
+		t.Errorf("final sample at t=%v, want 1000", last)
+	}
+}
+
+func TestWarmupFracValidated(t *testing.T) {
+	m := interference.Identity{Links: 1}
+	proc := singleHopProcess(t, m, 1, 0.1)
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		if _, err := Run(context.Background(), Config{Slots: 100, WarmupFrac: bad},
+			m, proc, newFifoProto(1)); err == nil {
+			t.Errorf("WarmupFrac %v accepted", bad)
+		}
+	}
+	// The boundary 0 remains valid.
+	if _, err := Run(context.Background(), Config{Slots: 100, Seed: 1},
+		m, proc, newFifoProto(1)); err != nil {
+		t.Errorf("WarmupFrac 0 rejected: %v", err)
+	}
+}
+
+func TestFairnessIndexHandComputed(t *testing.T) {
+	// Jain's index on a hand-computed 3-link case: served (4, 2, 0) with
+	// the zero-served link still attempted. sum=6, sumSq=20, n=3:
+	// J = 36 / (3·20) = 0.6.
+	r := &Result{
+		PerLinkServed:   []int64{4, 2, 0},
+		PerLinkAttempts: []int64{5, 3, 2},
+	}
+	if f := r.FairnessIndex(); f < 0.5999 || f > 0.6001 {
+		t.Errorf("fairness %v, want 0.6", f)
+	}
+	// A link served without a recorded attempt still counts (guard
+	// ordering: served-but-unattempted must not be skipped). served
+	// (3, 3, 0): the third link neither attempted nor served is excluded,
+	// J = 36 / (2·18) = 1.
+	r2 := &Result{
+		PerLinkServed:   []int64{3, 3, 0},
+		PerLinkAttempts: []int64{0, 0, 0},
+	}
+	if f := r2.FairnessIndex(); f != 1 {
+		t.Errorf("fairness %v, want 1 for two evenly served links", f)
+	}
+	// Served slice longer than attempts must not panic and must include
+	// the extra served link.
+	r3 := &Result{
+		PerLinkServed:   []int64{2, 2},
+		PerLinkAttempts: []int64{1},
+	}
+	if f := r3.FairnessIndex(); f != 1 {
+		t.Errorf("fairness %v, want 1", f)
+	}
+}

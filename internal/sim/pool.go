@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -34,12 +35,27 @@ func Workers(n, units int) int {
 // on the calling goroutine in index order — the exact serial path, no
 // scheduling involved. fn must confine its writes to per-index state.
 func ForEach(n, parallel int, fn func(i int)) {
+	ForEachCtx(context.Background(), n, parallel, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, no new
+// index is claimed (indices already running finish their fn call, which
+// is expected to observe ctx itself if it is long). Completed indices
+// are exactly those fn returned from; the caller distinguishes them by
+// per-index state. A nil ctx is treated as context.Background().
+func ForEachCtx(ctx context.Context, n, parallel int, fn func(i int)) {
 	if n <= 0 {
 		return
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := Workers(parallel, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -50,7 +66,7 @@ func ForEach(n, parallel int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

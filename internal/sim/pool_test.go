@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sync/atomic"
@@ -120,7 +121,7 @@ func TestReplicateBitIdenticalAcrossPoolSizes(t *testing.T) {
 	for _, parallel := range []int{1, 8, 0} {
 		c := cfg
 		c.Parallel = parallel
-		res, err := Replicate(c, 6, replicateInput)
+		res, err := Replicate(context.Background(), c, 6, replicateInput)
 		if err != nil {
 			t.Fatalf("parallel=%d: %v", parallel, err)
 		}
@@ -139,7 +140,7 @@ func TestReplicateBitIdenticalAcrossPoolSizes(t *testing.T) {
 }
 
 func TestReplicateRejectsNonPositiveReps(t *testing.T) {
-	if _, err := Replicate(Config{Slots: 10, Seed: 1}, 0, replicateInput); err == nil {
+	if _, err := Replicate(context.Background(), Config{Slots: 10, Seed: 1}, 0, replicateInput); err == nil {
 		t.Fatal("reps=0 accepted")
 	}
 }

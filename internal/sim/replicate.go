@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"dynsched/internal/inject"
@@ -14,25 +16,32 @@ type RunInput struct {
 	Model    interference.Model
 	Process  inject.Process
 	Protocol Protocol
+	// Observers are extra observers attached to this replication's run;
+	// build must return fresh instances per replication.
+	Observers []Observer
 }
 
 // Replication is one run's headline numbers.
 type Replication struct {
-	Rep       int
-	Stable    bool
-	MeanQ     float64
-	MaxQ      float64
-	MeanLat   float64
-	Delivered int64
-	Injected  int64
+	Rep       int     `json:"rep"`
+	Stable    bool    `json:"stable"`
+	MeanQ     float64 `json:"meanQueue"`
+	MaxQ      float64 `json:"maxQueue"`
+	MeanLat   float64 `json:"meanLatency"`
+	Delivered int64   `json:"delivered"`
+	Injected  int64   `json:"injected"`
 }
 
-// ReplicateResult aggregates R independent runs.
+// ReplicateResult aggregates independent runs. Runs holds one entry per
+// completed replication, sorted by replication index; a cancelled
+// Replicate returns the completed subset alongside the error — on a
+// parallel pool that subset need not be a prefix, so consumers must
+// read Replication.Rep rather than assume Runs[i] is replication i.
 type ReplicateResult struct {
-	Runs      []Replication
-	StableAll bool
-	MeanQ     stats.Summary // across-replication distribution of mean queue
-	MeanLat   stats.Summary // across-replication distribution of mean latency
+	Runs      []Replication `json:"runs"`
+	StableAll bool          `json:"stableAll"`
+	MeanQ     stats.Summary `json:"meanQueue"`   // across-replication distribution of mean queue
+	MeanLat   stats.Summary `json:"meanLatency"` // across-replication distribution of mean latency
 }
 
 // Replicate runs `reps` independent simulations on a worker pool of
@@ -42,15 +51,24 @@ type ReplicateResult struct {
 // including their order — are bit-identical for every pool size, serial
 // included. build is called once per replication with the replication
 // index and its seed, and must return fresh instances (replications
-// must not share mutable state; a model's SlotResolver scratch, for
-// example, is per-run).
-func Replicate(cfg Config, reps int, build func(rep int, seed int64) (RunInput, error)) (*ReplicateResult, error) {
+// must not share mutable state; a model's SlotResolver scratch and any
+// extra observers, for example, are per-run).
+//
+// A nil ctx means context.Background(). When ctx is cancelled mid-way,
+// Replicate stops starting new replications, aggregates the ones that
+// completed, and returns that partial result with an error wrapping the
+// context's error.
+func Replicate(ctx context.Context, cfg Config, reps int, build func(rep int, seed int64) (RunInput, error)) (*ReplicateResult, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("sim: reps %d must be positive", reps)
 	}
-	out := &ReplicateResult{Runs: make([]Replication, reps), StableAll: true}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runs := make([]Replication, reps)
+	done := make([]bool, reps)
 	errs := make([]error, reps)
-	ForEach(reps, cfg.Parallel, func(r int) {
+	ForEachCtx(ctx, reps, cfg.Parallel, func(r int) {
 		seed := SubSeed(cfg.Seed, r)
 		in, err := build(r, seed)
 		if err != nil {
@@ -59,12 +77,12 @@ func Replicate(cfg Config, reps int, build func(rep int, seed int64) (RunInput, 
 		}
 		c := cfg
 		c.Seed = seed
-		res, err := Run(c, in.Model, in.Process, in.Protocol)
+		res, err := Run(ctx, c, in.Model, in.Process, in.Protocol, in.Observers...)
 		if err != nil {
 			errs[r] = err
 			return
 		}
-		out.Runs[r] = Replication{
+		runs[r] = Replication{
 			Rep:       r,
 			Stable:    res.Verdict.Stable,
 			MeanQ:     res.Queue.MeanV(),
@@ -73,16 +91,38 @@ func Replicate(cfg Config, reps int, build func(rep int, seed int64) (RunInput, 
 			Delivered: res.Delivered,
 			Injected:  res.Injected,
 		}
+		done[r] = true
 	})
+
+	var firstErr error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err != nil && !isCancellation(err) {
+			firstErr = err
+			break
 		}
 	}
-	for _, run := range out.Runs {
-		out.StableAll = out.StableAll && run.Stable
-		out.MeanQ.Add(run.MeanQ)
-		out.MeanLat.Add(run.MeanLat)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := &ReplicateResult{StableAll: true}
+	for r := range runs {
+		if !done[r] {
+			continue
+		}
+		out.Runs = append(out.Runs, runs[r])
+		out.StableAll = out.StableAll && runs[r].Stable
+		out.MeanQ.Add(runs[r].MeanQ)
+		out.MeanLat.Add(runs[r].MeanLat)
+	}
+	if err := ctx.Err(); err != nil {
+		return out, fmt.Errorf("sim: replicate cancelled with %d of %d replications completed: %w", len(out.Runs), reps, err)
 	}
 	return out, nil
+}
+
+// isCancellation reports whether err stems from context cancellation or
+// deadline expiry rather than a genuine simulation failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

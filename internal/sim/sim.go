@@ -1,8 +1,8 @@
 // Package sim is the discrete-time simulation engine: it advances a
 // protocol slot by slot against an interference model and an injection
 // process, resolves which transmissions succeed, moves packets along
-// their paths, and collects the queue-length and latency metrics the
-// experiments report.
+// their paths, and notifies an observer pipeline that collects the
+// queue-length and latency metrics the experiments report.
 //
 // The simulator, not the protocol, owns packet ground truth: a protocol
 // may only request transmissions of packets it holds, on the next link
@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -46,12 +47,12 @@ type Config struct {
 	// Slots is the number of time slots to simulate.
 	Slots int64
 	// SampleEvery sets the queue-length sampling period (0 = Slots/512,
-	// min 1).
+	// min 1). The final executed slot is always sampled.
 	SampleEvery int64
 	// Seed seeds the run's random source.
 	Seed int64
 	// WarmupFrac excludes the first fraction of the run from latency
-	// statistics (default 0: keep everything).
+	// statistics. Must lie in [0, 1); 0 (the default) keeps everything.
 	WarmupFrac float64
 	// MaxLatencySlots sizes the latency histogram (0 = Slots).
 	MaxLatencySlots int64
@@ -63,32 +64,34 @@ type Config struct {
 
 // Result aggregates the metrics of one run.
 type Result struct {
-	Slots     int64
-	Injected  int64
-	Delivered int64
-	InFlight  int64 // packets still queued at the end
+	// Slots is the number of slots actually executed — cfg.Slots for a
+	// completed run, fewer when the context was cancelled mid-run.
+	Slots     int64 `json:"slots"`
+	Injected  int64 `json:"injected"`
+	Delivered int64 `json:"delivered"`
+	InFlight  int64 `json:"inFlight"` // packets still queued at the end
 
 	// Latency is the per-packet latency histogram (delivery − injection),
 	// excluding the warm-up period.
-	Latency *stats.Histogram
+	Latency *stats.Histogram `json:"latency"`
 	// HopLatency summarises latency divided by path length.
-	HopLatency stats.Summary
+	HopLatency stats.Summary `json:"hopLatency"`
 	// Queue is the sampled time series of in-flight packet counts.
-	Queue stats.Series
+	Queue stats.Series `json:"queue"`
 	// Verdict classifies the queue series as stable or unstable.
-	Verdict stats.StabilityVerdict
+	Verdict stats.StabilityVerdict `json:"verdict"`
 
 	// ProtocolErrors counts transmissions the simulator rejected
 	// (unknown packet, wrong link). Always 0 for a correct protocol.
-	ProtocolErrors int64
+	ProtocolErrors int64 `json:"protocolErrors"`
 	// AttemptedTx and SuccessfulTx count link-level transmissions.
-	AttemptedTx  int64
-	SuccessfulTx int64
+	AttemptedTx  int64 `json:"attemptedTx"`
+	SuccessfulTx int64 `json:"successfulTx"`
 
 	// PerLinkServed counts successful transmissions per link.
-	PerLinkServed []int64
+	PerLinkServed []int64 `json:"perLinkServed"`
 	// PerLinkAttempts counts attempted transmissions per link.
-	PerLinkAttempts []int64
+	PerLinkAttempts []int64 `json:"perLinkAttempts"`
 }
 
 // LinkUtilization returns the fraction of slots in which link e carried
@@ -101,13 +104,15 @@ func (r *Result) LinkUtilization(e int) float64 {
 }
 
 // FairnessIndex returns Jain's fairness index over per-link service
-// counts, restricted to links that were attempted at all: 1 means
-// perfectly even service, 1/k means one of k links got everything.
+// counts, restricted to links that participated at all — attempted, or
+// served even without a recorded attempt: 1 means perfectly even
+// service, 1/k means one of k links got everything.
 func (r *Result) FairnessIndex() float64 {
 	var sum, sumSq float64
 	n := 0
 	for e, served := range r.PerLinkServed {
-		if r.PerLinkAttempts[e] == 0 {
+		attempted := e < len(r.PerLinkAttempts) && r.PerLinkAttempts[e] > 0
+		if served == 0 && !attempted {
 			continue
 		}
 		s := float64(served)
@@ -136,10 +141,27 @@ type pktState struct {
 	injected int64
 }
 
-// Run simulates the protocol against the model and injection process.
-func Run(cfg Config, model interference.Model, proc inject.Process, proto Protocol) (*Result, error) {
+// cancelCheckMask throttles the per-slot context poll: the context is
+// consulted every 1024 slots, so cancellation lands within microseconds
+// of wall-clock while the hot loop stays branch-cheap.
+const cancelCheckMask = 1<<10 - 1
+
+// Run simulates the protocol against the model and injection process,
+// notifying the stock metric observers plus any extras. A nil ctx is
+// treated as context.Background(). When the context is cancelled or
+// times out mid-run, Run stops promptly and returns the partial result
+// — metrics complete up to the last executed slot, with Result.Slots
+// reflecting the early stop — together with an error wrapping the
+// context's error.
+func Run(ctx context.Context, cfg Config, model interference.Model, proc inject.Process, proto Protocol, extra ...Observer) (*Result, error) {
 	if cfg.Slots <= 0 {
 		return nil, fmt.Errorf("sim: non-positive slot count %d", cfg.Slots)
+	}
+	if cfg.WarmupFrac < 0 || cfg.WarmupFrac >= 1 {
+		return nil, fmt.Errorf("sim: WarmupFrac %v outside [0,1) — 0 keeps every latency sample, values near 1 would discard them all", cfg.WarmupFrac)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	sample := cfg.SampleEvery
 	if sample <= 0 {
@@ -157,20 +179,41 @@ func Run(cfg Config, model interference.Model, proc inject.Process, proto Protoc
 		latBucket = 1
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	res := &Result{
-		Slots:           cfg.Slots,
-		Latency:         stats.NewHistogram(latBucket, 257),
-		PerLinkServed:   make([]int64, model.NumLinks()),
-		PerLinkAttempts: make([]int64, model.NumLinks()),
-	}
-	warmupEnd := int64(cfg.WarmupFrac * float64(cfg.Slots))
+	res := &Result{}
+	obs := make([]Observer, 0, 3+len(extra))
+	obs = append(obs,
+		&latencyObserver{
+			warmupEnd: int64(cfg.WarmupFrac * float64(cfg.Slots)),
+			hist:      stats.NewHistogram(latBucket, 257),
+		},
+		&queueObserver{sample: sample},
+		&linkObserver{
+			served:   make([]int64, model.NumLinks()),
+			attempts: make([]int64, model.NumLinks()),
+		},
+	)
+	obs = append(obs, extra...)
+
 	inFlight := make(map[int64]*pktState)
 	// Per-run slot resolver and link buffer: models that support it
 	// resolve slots allocation-free, and the link vector is reused.
 	resolve := interference.ResolveFunc(model)
 	var links []int
 
+	finish := func(executed int64) {
+		res.Slots = executed
+		res.InFlight = int64(len(inFlight))
+		for _, o := range obs {
+			o.OnEnd(res)
+		}
+	}
+
 	for t := int64(0); t < cfg.Slots; t++ {
+		if t&cancelCheckMask == 0 && ctx.Err() != nil {
+			finish(t)
+			return res, fmt.Errorf("sim: run cancelled after %d of %d slots: %w", t, cfg.Slots, ctx.Err())
+		}
+
 		// 1. Injection.
 		pkts := proc.Step(t, rng)
 		for _, p := range pkts {
@@ -183,6 +226,9 @@ func Run(cfg Config, model interference.Model, proc inject.Process, proto Protoc
 		res.Injected += int64(len(pkts))
 		if len(pkts) > 0 {
 			proto.Inject(t, pkts)
+			for _, o := range obs {
+				o.OnInject(t, pkts)
+			}
 		}
 
 		// 2. The protocol picks transmissions; invalid ones are dropped.
@@ -204,7 +250,6 @@ func Run(cfg Config, model interference.Model, proc inject.Process, proto Protoc
 		links = links[:len(tx)]
 		for i, w := range tx {
 			links[i] = w.Link
-			res.PerLinkAttempts[w.Link]++
 		}
 		success := resolve(links)
 		res.AttemptedTx += int64(len(tx))
@@ -215,27 +260,30 @@ func Run(cfg Config, model interference.Model, proc inject.Process, proto Protoc
 				continue
 			}
 			res.SuccessfulTx++
-			res.PerLinkServed[w.Link]++
 			st := inFlight[w.PacketID]
 			st.hop++
 			if st.hop == len(st.path) {
 				res.Delivered++
-				if t >= warmupEnd {
-					lat := float64(t - st.injected + 1)
-					res.Latency.Add(lat)
-					res.HopLatency.Add(lat / float64(len(st.path)))
+				d := Delivery{
+					PacketID: w.PacketID,
+					Link:     w.Link,
+					Injected: st.injected,
+					PathLen:  len(st.path),
+				}
+				for _, o := range obs {
+					o.OnDeliver(t, d)
 				}
 				delete(inFlight, w.PacketID)
 			}
 		}
 		proto.Feedback(t, tx, success)
 
-		// 5. Metrics sampling.
-		if t%sample == 0 {
-			res.Queue.Append(float64(t), float64(len(inFlight)))
+		// 5. End-of-slot observation (metrics sampling lives here).
+		view := SlotView{Tx: tx, Success: success, InFlight: len(inFlight)}
+		for _, o := range obs {
+			o.OnSlot(t, view)
 		}
 	}
-	res.InFlight = int64(len(inFlight))
-	res.Verdict = res.Queue.Stability()
+	finish(cfg.Slots)
 	return res, nil
 }

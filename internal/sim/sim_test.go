@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -95,7 +96,7 @@ func TestRunConservation(t *testing.T) {
 	m := interference.Identity{Links: 4}
 	proc := singleHopProcess(t, m, 4, 0.3)
 	proto := newFifoProto(4)
-	res, err := Run(Config{Slots: 5000, Seed: 121}, m, proc, proto)
+	res, err := Run(context.Background(), Config{Slots: 5000, Seed: 121}, m, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestRunMultiHopLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	proto := newFifoProto(g.NumLinks())
-	res, err := Run(Config{Slots: 8000, Seed: 122}, m, proc, proto)
+	res, err := Run(context.Background(), Config{Slots: 8000, Seed: 122}, m, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestRunRejectsBuggyProtocol(t *testing.T) {
 	m := interference.Identity{Links: 3}
 	proc := singleHopProcess(t, m, 3, 0.4)
 	proto := &buggyProto{*newFifoProto(3)}
-	res, err := Run(Config{Slots: 300, Seed: 123}, m, proc, proto)
+	res, err := Run(context.Background(), Config{Slots: 300, Seed: 123}, m, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestRunOverloadDetectedUnstable(t *testing.T) {
 	m := interference.AllOnes{Links: 4}
 	proc := singleHopProcess(t, m, 4, 0.5)
 	proto := newFifoProto(4)
-	res, err := Run(Config{Slots: 4000, Seed: 124}, m, proc, proto)
+	res, err := Run(context.Background(), Config{Slots: 4000, Seed: 124}, m, proc, proto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestRunOverloadDetectedUnstable(t *testing.T) {
 func TestRunConfigValidation(t *testing.T) {
 	m := interference.Identity{Links: 1}
 	proc := singleHopProcess(t, m, 1, 0.1)
-	if _, err := Run(Config{Slots: 0}, m, proc, newFifoProto(1)); err == nil {
+	if _, err := Run(context.Background(), Config{Slots: 0}, m, proc, newFifoProto(1)); err == nil {
 		t.Fatal("zero slots accepted")
 	}
 }
@@ -192,7 +193,7 @@ func TestRunDeterministicUnderSeed(t *testing.T) {
 	m := interference.Identity{Links: 3}
 	run := func() *Result {
 		proc := singleHopProcess(t, m, 3, 0.3)
-		res, err := Run(Config{Slots: 2000, Seed: 125}, m, proc, newFifoProto(3))
+		res, err := Run(context.Background(), Config{Slots: 2000, Seed: 125}, m, proc, newFifoProto(3))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +208,7 @@ func TestRunDeterministicUnderSeed(t *testing.T) {
 func TestWarmupExcludesEarlyLatencies(t *testing.T) {
 	m := interference.Identity{Links: 2}
 	proc := singleHopProcess(t, m, 2, 0.2)
-	res, err := Run(Config{Slots: 2000, Seed: 126, WarmupFrac: 0.5}, m, proc, newFifoProto(2))
+	res, err := Run(context.Background(), Config{Slots: 2000, Seed: 126, WarmupFrac: 0.5}, m, proc, newFifoProto(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestWarmupExcludesEarlyLatencies(t *testing.T) {
 
 func TestReplicate(t *testing.T) {
 	m := interference.Identity{Links: 3}
-	res, err := Replicate(Config{Slots: 2000, Seed: 500}, 4,
+	res, err := Replicate(context.Background(), Config{Slots: 2000, Seed: 500}, 4,
 		func(rep int, seed int64) (RunInput, error) {
 			gens := make([]inject.Generator, 3)
 			for i := range gens {
@@ -250,7 +251,7 @@ func TestReplicate(t *testing.T) {
 		res.Runs[1].Injected == res.Runs[2].Injected {
 		t.Error("replications suspiciously identical")
 	}
-	if _, err := Replicate(Config{Slots: 100}, 0, nil); err == nil {
+	if _, err := Replicate(context.Background(), Config{Slots: 100}, 0, nil); err == nil {
 		t.Error("zero reps accepted")
 	}
 }
@@ -258,7 +259,7 @@ func TestReplicate(t *testing.T) {
 func TestPerLinkMetricsAndFairness(t *testing.T) {
 	m := interference.Identity{Links: 3}
 	proc := singleHopProcess(t, m, 3, 0.3)
-	res, err := Run(Config{Slots: 4000, Seed: 127}, m, proc, newFifoProto(3))
+	res, err := Run(context.Background(), Config{Slots: 4000, Seed: 127}, m, proc, newFifoProto(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,71 @@
+// JSON round-tripping for the accumulator types whose fields are
+// unexported (Histogram, Summary), so simulation results — and the
+// Scenario API's result documents — serialize losslessly.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+type histogramJSON struct {
+	Width    float64 `json:"width"`
+	Counts   []int64 `json:"counts"`
+	Overflow int64   `json:"overflow,omitempty"`
+	Sum      float64 `json:"sum"`
+	N        int64   `json:"n"`
+	Max      float64 `json:"max"`
+}
+
+// MarshalJSON encodes the histogram's full state.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{
+		Width:    h.width,
+		Counts:   h.counts,
+		Overflow: h.overflow,
+		Sum:      h.sum,
+		N:        h.n,
+		Max:      h.max,
+	})
+}
+
+// UnmarshalJSON restores a histogram encoded by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var doc histogramJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if doc.Width <= 0 || len(doc.Counts) == 0 {
+		return fmt.Errorf("stats: invalid histogram document width=%v buckets=%d", doc.Width, len(doc.Counts))
+	}
+	h.width = doc.Width
+	h.counts = doc.Counts
+	h.overflow = doc.Overflow
+	h.sum = doc.Sum
+	h.n = doc.N
+	h.max = doc.Max
+	return nil
+}
+
+type summaryJSON struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON encodes the summary's full state.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max})
+}
+
+// UnmarshalJSON restores a summary encoded by MarshalJSON.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var doc summaryJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	s.n, s.mean, s.m2, s.min, s.max = doc.N, doc.Mean, doc.M2, doc.Min, doc.Max
+	return nil
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(2, 8)
+	for _, x := range []float64{0.5, 1.5, 3, 7, 100} { // 100 overflows
+		h.Add(x)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != h.N() || back.Mean() != h.Mean() || back.Max() != h.Max() {
+		t.Fatalf("round trip changed aggregates: %v vs %v", back.String(), h.String())
+	}
+	if back.Quantile(0.5) != h.Quantile(0.5) || back.Quantile(0.99) != h.Quantile(0.99) {
+		t.Fatal("round trip changed quantiles")
+	}
+}
+
+func TestHistogramJSONRejectsInvalid(t *testing.T) {
+	var h Histogram
+	if err := json.Unmarshal([]byte(`{"width":0,"counts":[]}`), &h); err == nil {
+		t.Fatal("invalid histogram document accepted")
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 10} {
+		s.Add(x)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != s.N() || back.Mean() != s.Mean() || back.Std() != s.Std() ||
+		back.Min() != s.Min() || back.Max() != s.Max() {
+		t.Fatalf("round trip changed summary: %+v vs %+v", back, s)
+	}
+	// Continuing to accumulate after a round trip must behave identically.
+	s.Add(5)
+	back.Add(5)
+	if back.Mean() != s.Mean() || back.Std() != s.Std() {
+		t.Fatal("post-round-trip accumulation diverged")
+	}
+}

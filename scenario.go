@@ -1,0 +1,451 @@
+package dynsched
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"dynsched/internal/cli"
+	"dynsched/internal/sim"
+)
+
+// ---- Scenario specs ----
+//
+// A Scenario is a declarative description of one experiment: which
+// network to build, which interference model to schedule against, how
+// traffic arrives, which protocol serves it, and how to simulate. The
+// whole composition is data — a struct literal or a JSON document —
+// so new workloads are declared, not re-plumbed from the ~40 free
+// functions of the façade. Compile validates the spec and wires the
+// runnable components; Run/Replicate/RunSweep execute it.
+
+// NetworkSpec selects the communication graph and routes.
+type NetworkSpec struct {
+	// Topology is one of line, grid, grid-convergecast, pairs, nested,
+	// mac, or auto (pick per model).
+	Topology string `json:"topology,omitempty"`
+	// Nodes sizes node-centric topologies (line, grid).
+	Nodes int `json:"nodes,omitempty"`
+	// Links sizes link-centric topologies (pairs, nested, mac).
+	Links int `json:"links,omitempty"`
+	// Hops is the path length for multi-hop workloads.
+	Hops int `json:"hops,omitempty"`
+}
+
+// ModelSpec selects the interference model.
+type ModelSpec struct {
+	// Kind is one of identity, mac, sinr-linear, sinr-uniform,
+	// sinr-power-control.
+	Kind string `json:"kind"`
+	// Loss adds independent per-transmission loss with this probability.
+	Loss float64 `json:"loss,omitempty"`
+}
+
+// TrafficSpec selects the injection process.
+type TrafficSpec struct {
+	// Pattern is "stochastic" (the default) or an adversary timing:
+	// burst, spread, sawtooth, rotating.
+	Pattern string `json:"pattern,omitempty"`
+	// Lambda is the injection rate in interference-measure units/slot.
+	Lambda float64 `json:"lambda"`
+	// Window is the adversary window length w (adversarial patterns).
+	Window int `json:"window,omitempty"`
+}
+
+// ProtocolSpec selects and tunes the dynamic protocol.
+type ProtocolSpec struct {
+	// Alg names the static algorithm to wrap (auto = pick per model).
+	Alg string `json:"alg,omitempty"`
+	// Eps is the protocol headroom ε.
+	Eps float64 `json:"eps,omitempty"`
+	// Frame overrides the frame length T (0 = solve for it).
+	Frame int `json:"frame,omitempty"`
+	// DisableDelays turns off the Section 5 random initial delays
+	// (ablation).
+	DisableDelays bool `json:"disableDelays,omitempty"`
+}
+
+// SimSpec parameterises the simulation itself.
+type SimSpec struct {
+	Slots       int64   `json:"slots"`
+	Seed        int64   `json:"seed"`
+	WarmupFrac  float64 `json:"warmupFrac,omitempty"`
+	SampleEvery int64   `json:"sampleEvery,omitempty"`
+	// Parallel caps Replicate's worker pool (0 = GOMAXPROCS).
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// SweepSpec declares a one-dimensional parameter sweep.
+type SweepSpec struct {
+	// Axis is the swept parameter: lambda, eps, or loss.
+	Axis string `json:"axis,omitempty"`
+	// Values are applied to the axis one RunSweep step at a time.
+	Values []float64 `json:"values,omitempty"`
+}
+
+// ObserverFactory builds a fresh SimObserver for one run. Factories —
+// not instances — are attached to scenarios so every replication of a
+// replicated run gets its own observer state.
+type ObserverFactory func() SimObserver
+
+// Scenario is a declarative experiment: network, model, traffic,
+// protocol, simulation parameters and optional sweep axes, as one
+// JSON-serialisable value. The zero value is not runnable; start from
+// NewScenario (which fills the defaults) or a complete literal.
+type Scenario struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description,omitempty"`
+	Network     NetworkSpec  `json:"network"`
+	Model       ModelSpec    `json:"model"`
+	Traffic     TrafficSpec  `json:"traffic"`
+	Protocol    ProtocolSpec `json:"protocol"`
+	Sim         SimSpec      `json:"sim"`
+	Sweep       SweepSpec    `json:"sweep"`
+	// Observers are attached to every run compiled from this scenario.
+	// They are code, not data, and are skipped by JSON encoding.
+	Observers []ObserverFactory `json:"-"`
+}
+
+// ScenarioOption mutates a scenario under construction.
+type ScenarioOption func(*Scenario)
+
+// NewScenario returns a scenario with the same defaults as the
+// cmd/dynsched flags, customised by the given options.
+func NewScenario(name string, opts ...ScenarioOption) Scenario {
+	s := Scenario{
+		Name:     name,
+		Network:  NetworkSpec{Topology: "auto", Nodes: 8, Links: 16, Hops: 4},
+		Model:    ModelSpec{Kind: "identity"},
+		Traffic:  TrafficSpec{Pattern: "stochastic", Lambda: 0.3, Window: 64},
+		Protocol: ProtocolSpec{Alg: "auto", Eps: 0.25},
+		Sim:      SimSpec{Slots: 50_000, Seed: 1, WarmupFrac: 0.1},
+	}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	return s
+}
+
+// WithDescription sets the scenario's one-line description.
+func WithDescription(d string) ScenarioOption { return func(s *Scenario) { s.Description = d } }
+
+// WithTopology selects the network topology.
+func WithTopology(t string) ScenarioOption { return func(s *Scenario) { s.Network.Topology = t } }
+
+// WithNodes sets the node count for node-centric topologies.
+func WithNodes(n int) ScenarioOption { return func(s *Scenario) { s.Network.Nodes = n } }
+
+// WithLinks sets the link count for link-centric topologies.
+func WithLinks(n int) ScenarioOption { return func(s *Scenario) { s.Network.Links = n } }
+
+// WithHops sets the path length for multi-hop workloads.
+func WithHops(n int) ScenarioOption { return func(s *Scenario) { s.Network.Hops = n } }
+
+// WithModel selects the interference model kind.
+func WithModel(kind string) ScenarioOption { return func(s *Scenario) { s.Model.Kind = kind } }
+
+// WithLoss adds independent per-transmission loss.
+func WithLoss(p float64) ScenarioOption { return func(s *Scenario) { s.Model.Loss = p } }
+
+// WithLambda sets the injection rate.
+func WithLambda(l float64) ScenarioOption { return func(s *Scenario) { s.Traffic.Lambda = l } }
+
+// WithAdversary switches injection to a (w, λ)-bounded adversary with
+// the given timing pattern (burst, spread, sawtooth, rotating).
+func WithAdversary(pattern string, window int) ScenarioOption {
+	return func(s *Scenario) { s.Traffic.Pattern, s.Traffic.Window = pattern, window }
+}
+
+// WithAlgorithm names the static algorithm the protocol wraps.
+func WithAlgorithm(alg string) ScenarioOption { return func(s *Scenario) { s.Protocol.Alg = alg } }
+
+// WithEps sets the protocol headroom ε.
+func WithEps(e float64) ScenarioOption { return func(s *Scenario) { s.Protocol.Eps = e } }
+
+// WithFrame overrides the protocol frame length T.
+func WithFrame(t int) ScenarioOption { return func(s *Scenario) { s.Protocol.Frame = t } }
+
+// WithoutDelays disables the Section 5 random initial delays.
+func WithoutDelays() ScenarioOption { return func(s *Scenario) { s.Protocol.DisableDelays = true } }
+
+// WithSlots sets the simulation length.
+func WithSlots(n int64) ScenarioOption { return func(s *Scenario) { s.Sim.Slots = n } }
+
+// WithSeed sets the run seed.
+func WithSeed(seed int64) ScenarioOption { return func(s *Scenario) { s.Sim.Seed = seed } }
+
+// WithWarmup excludes the first fraction of the run from latency stats.
+func WithWarmup(frac float64) ScenarioOption { return func(s *Scenario) { s.Sim.WarmupFrac = frac } }
+
+// WithSampleEvery sets the queue-sampling period.
+func WithSampleEvery(n int64) ScenarioOption { return func(s *Scenario) { s.Sim.SampleEvery = n } }
+
+// WithParallel caps the Replicate worker pool.
+func WithParallel(n int) ScenarioOption { return func(s *Scenario) { s.Sim.Parallel = n } }
+
+// WithObservers attaches observer factories to every compiled run.
+func WithObservers(factories ...ObserverFactory) ScenarioOption {
+	return func(s *Scenario) { s.Observers = append(s.Observers, factories...) }
+}
+
+// WithSweep declares a one-dimensional sweep over lambda, eps, or loss.
+func WithSweep(axis string, values ...float64) ScenarioOption {
+	return func(s *Scenario) { s.Sweep = SweepSpec{Axis: axis, Values: values} }
+}
+
+// Validate checks the parts of the spec that Compile's component
+// builders do not check themselves.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("dynsched: scenario has no name")
+	}
+	if s.Sim.Slots <= 0 {
+		return fmt.Errorf("dynsched: scenario %q: non-positive slot count %d", s.Name, s.Sim.Slots)
+	}
+	if s.Sim.WarmupFrac < 0 || s.Sim.WarmupFrac >= 1 {
+		return fmt.Errorf("dynsched: scenario %q: WarmupFrac %v outside [0,1)", s.Name, s.Sim.WarmupFrac)
+	}
+	switch s.Traffic.Pattern {
+	case "", "stochastic", "burst", "spread", "sawtooth", "rotating":
+	default:
+		return fmt.Errorf("dynsched: scenario %q: unknown traffic pattern %q", s.Name, s.Traffic.Pattern)
+	}
+	if s.Sweep.Axis != "" {
+		switch s.Sweep.Axis {
+		case "lambda", "eps", "loss":
+		default:
+			return fmt.Errorf("dynsched: scenario %q: unknown sweep axis %q (want lambda, eps, or loss)", s.Name, s.Sweep.Axis)
+		}
+		if len(s.Sweep.Values) == 0 {
+			return fmt.Errorf("dynsched: scenario %q: sweep axis %q has no values", s.Name, s.Sweep.Axis)
+		}
+	}
+	return nil
+}
+
+// options maps the declarative spec onto the workload builder's input.
+func (s Scenario) options() cli.Options {
+	adv := s.Traffic.Pattern
+	if adv == "stochastic" {
+		adv = ""
+	}
+	return cli.Options{
+		Model:         s.Model.Kind,
+		Topology:      s.Network.Topology,
+		Alg:           s.Protocol.Alg,
+		Nodes:         s.Network.Nodes,
+		Links:         s.Network.Links,
+		Hops:          s.Network.Hops,
+		Lambda:        s.Traffic.Lambda,
+		Eps:           s.Protocol.Eps,
+		Seed:          s.Sim.Seed,
+		Adv:           adv,
+		Window:        s.Traffic.Window,
+		LossP:         s.Model.Loss,
+		Frame:         s.Protocol.Frame,
+		DisableDelays: s.Protocol.DisableDelays,
+	}
+}
+
+// simConfig maps the spec's simulation parameters.
+func (s Scenario) simConfig() SimConfig {
+	return SimConfig{
+		Slots:       s.Sim.Slots,
+		Seed:        s.Sim.Seed,
+		WarmupFrac:  s.Sim.WarmupFrac,
+		SampleEvery: s.Sim.SampleEvery,
+		Parallel:    s.Sim.Parallel,
+	}
+}
+
+// CompiledScenario holds the runnable components a scenario validates
+// and wires together: inspect the graph or protocol sizing, then Run.
+type CompiledScenario struct {
+	Scenario  Scenario
+	Graph     *Graph
+	Model     Model
+	Process   InjectionProcess
+	Protocol  *Protocol
+	Config    SimConfig
+	Observers []SimObserver
+}
+
+// Compile validates the scenario and builds its components. Each call
+// builds fresh instances, so two compilations never share mutable
+// state.
+func (s Scenario) Compile() (*CompiledScenario, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := cli.Build(s.options())
+	if err != nil {
+		return nil, fmt.Errorf("dynsched: scenario %q: %w", s.Name, err)
+	}
+	obs := make([]SimObserver, 0, len(s.Observers))
+	for _, f := range s.Observers {
+		obs = append(obs, f())
+	}
+	return &CompiledScenario{
+		Scenario:  s,
+		Graph:     w.Graph,
+		Model:     w.Model,
+		Process:   w.Process,
+		Protocol:  w.Protocol,
+		Config:    s.simConfig(),
+		Observers: obs,
+	}, nil
+}
+
+// Run executes the compiled components once.
+func (c *CompiledScenario) Run(ctx context.Context) (*SimResult, error) {
+	return sim.Run(ctx, c.Config, c.Model, c.Process, c.Protocol, c.Observers...)
+}
+
+// Run compiles and executes the scenario once. A nil ctx means
+// context.Background(); a cancelled context yields the partial result
+// together with an error wrapping the context's error.
+func (s Scenario) Run(ctx context.Context) (*SimResult, error) {
+	c, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(ctx)
+}
+
+// Replicate compiles and runs the scenario `reps` times with derived
+// per-replication seeds on a pool of Sim.Parallel workers, rebuilding
+// every component (and observer) per replication. Results are
+// bit-identical for every pool size.
+func (s Scenario) Replicate(ctx context.Context, reps int) (*ReplicateResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return sim.Replicate(ctx, s.simConfig(), reps, func(rep int, seed int64) (ReplicateInput, error) {
+		sc := s
+		sc.Sim.Seed = seed
+		c, err := sc.Compile()
+		if err != nil {
+			return ReplicateInput{}, err
+		}
+		return ReplicateInput{
+			Model:     c.Model,
+			Process:   c.Process,
+			Protocol:  c.Protocol,
+			Observers: c.Observers,
+		}, nil
+	})
+}
+
+// SweepPoint is one sweep step's outcome.
+type SweepPoint struct {
+	Axis   string     `json:"axis"`
+	Value  float64    `json:"value"`
+	Result *SimResult `json:"result"`
+}
+
+// RunSweep runs the scenario once per sweep value, applying each value
+// to the sweep axis. It returns the completed points when the context
+// is cancelled mid-sweep, together with the run's error.
+func (s Scenario) RunSweep(ctx context.Context) ([]SweepPoint, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Sweep.Axis == "" {
+		return nil, fmt.Errorf("dynsched: scenario %q has no sweep axis", s.Name)
+	}
+	out := make([]SweepPoint, 0, len(s.Sweep.Values))
+	for _, v := range s.Sweep.Values {
+		sc := s
+		sc.Sweep = SweepSpec{}
+		switch s.Sweep.Axis {
+		case "lambda":
+			sc.Traffic.Lambda = v
+		case "eps":
+			sc.Protocol.Eps = v
+		case "loss":
+			sc.Model.Loss = v
+		}
+		res, err := sc.Run(ctx)
+		if err != nil {
+			return out, fmt.Errorf("dynsched: sweep %s=%v: %w", s.Sweep.Axis, v, err)
+		}
+		out = append(out, SweepPoint{Axis: s.Sweep.Axis, Value: v, Result: res})
+	}
+	return out, nil
+}
+
+// ---- JSON ----
+
+// ParseScenario decodes a scenario document. Unknown keys are rejected
+// so typos fail loudly, and the result is validated.
+func ParseScenario(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("dynsched: parsing scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// EncodeJSON renders the scenario as an indented JSON document, the
+// same format ParseScenario reads.
+func (s Scenario) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ---- Registry ----
+
+var scenarioRegistry = struct {
+	mu     sync.RWMutex
+	byName map[string]Scenario
+	order  []string
+}{byName: map[string]Scenario{}}
+
+// RegisterScenario adds a named scenario to the process-wide registry,
+// rejecting unnamed, invalid, and duplicate entries.
+func RegisterScenario(s Scenario) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	scenarioRegistry.mu.Lock()
+	defer scenarioRegistry.mu.Unlock()
+	if _, dup := scenarioRegistry.byName[s.Name]; dup {
+		return fmt.Errorf("dynsched: scenario %q already registered", s.Name)
+	}
+	scenarioRegistry.byName[s.Name] = s
+	scenarioRegistry.order = append(scenarioRegistry.order, s.Name)
+	return nil
+}
+
+// MustRegisterScenario is RegisterScenario, panicking on error — for
+// package-level registration of built-in scenarios.
+func MustRegisterScenario(s Scenario) {
+	if err := RegisterScenario(s); err != nil {
+		panic(err)
+	}
+}
+
+// Scenarios returns every registered scenario in registration order.
+func Scenarios() []Scenario {
+	scenarioRegistry.mu.RLock()
+	defer scenarioRegistry.mu.RUnlock()
+	out := make([]Scenario, 0, len(scenarioRegistry.order))
+	for _, name := range scenarioRegistry.order {
+		out = append(out, scenarioRegistry.byName[name])
+	}
+	return out
+}
+
+// ScenarioByName looks a registered scenario up.
+func ScenarioByName(name string) (Scenario, bool) {
+	scenarioRegistry.mu.RLock()
+	defer scenarioRegistry.mu.RUnlock()
+	s, ok := scenarioRegistry.byName[name]
+	return s, ok
+}

@@ -1,0 +1,68 @@
+package dynsched
+
+// The built-in scenario library: one registered Scenario per workload
+// family the paper motivates, runnable by name from cmd/dynsched
+// (-scenario <name>) and listable via Scenarios(). Each is a plain
+// declarative literal — the model for user-defined scenarios.
+
+func init() {
+	MustRegisterScenario(Scenario{
+		Name:        "line-stochastic",
+		Description: "packet routing on a 6-node line at λ=0.4 (the quick-start workload)",
+		Network:     NetworkSpec{Topology: "line", Nodes: 6, Hops: 5},
+		Model:       ModelSpec{Kind: "identity"},
+		Traffic:     TrafficSpec{Pattern: "stochastic", Lambda: 0.4},
+		Protocol:    ProtocolSpec{Alg: "full-parallel", Eps: 0.25},
+		Sim:         SimSpec{Slots: 50_000, Seed: 1, WarmupFrac: 0.1},
+	})
+
+	MustRegisterScenario(Scenario{
+		Name:        "sinr-stochastic",
+		Description: "stochastic single-hop traffic on random pairs under fixed linear-power SINR",
+		Network:     NetworkSpec{Topology: "pairs", Links: 16, Hops: 1},
+		Model:       ModelSpec{Kind: "sinr-linear"},
+		Traffic:     TrafficSpec{Pattern: "stochastic", Lambda: 0.05},
+		Protocol:    ProtocolSpec{Alg: "spread", Eps: 0.25},
+		Sim:         SimSpec{Slots: 40_000, Seed: 1, WarmupFrac: 0.1},
+	})
+
+	MustRegisterScenario(Scenario{
+		Name:        "mac-adversarial",
+		Description: "burst adversary on an 8-station multiple-access channel served by Round-Robin-Withholding",
+		Network:     NetworkSpec{Topology: "mac", Links: 8, Hops: 1},
+		Model:       ModelSpec{Kind: "mac"},
+		Traffic:     TrafficSpec{Pattern: "burst", Lambda: 0.5, Window: 64},
+		Protocol:    ProtocolSpec{Alg: "rrw", Eps: 0.25},
+		Sim:         SimSpec{Slots: 40_000, Seed: 1, WarmupFrac: 0.1},
+	})
+
+	MustRegisterScenario(Scenario{
+		Name:        "grid-convergecast",
+		Description: "sensor-grid convergecast to a corner sink under uniform-power SINR",
+		Network:     NetworkSpec{Topology: "grid-convergecast", Nodes: 16},
+		Model:       ModelSpec{Kind: "sinr-uniform"},
+		Traffic:     TrafficSpec{Pattern: "stochastic", Lambda: 0.02},
+		Protocol:    ProtocolSpec{Alg: "spread", Eps: 0.25},
+		Sim:         SimSpec{Slots: 50_000, Seed: 7, WarmupFrac: 0.1},
+	})
+
+	MustRegisterScenario(Scenario{
+		Name:        "powercontrol-stochastic",
+		Description: "protocol-chosen transmission powers (Section 6.2) with the greedy centralized scheduler",
+		Network:     NetworkSpec{Topology: "pairs", Links: 12, Hops: 1},
+		Model:       ModelSpec{Kind: "sinr-power-control"},
+		Traffic:     TrafficSpec{Pattern: "stochastic", Lambda: 0.01},
+		Protocol:    ProtocolSpec{Alg: "greedy-pc", Eps: 0.25},
+		Sim:         SimSpec{Slots: 30_000, Seed: 10, WarmupFrac: 0.1},
+	})
+
+	MustRegisterScenario(Scenario{
+		Name:        "lossy-line",
+		Description: "the line workload under 10% independent transmission loss",
+		Network:     NetworkSpec{Topology: "line", Nodes: 6, Hops: 5},
+		Model:       ModelSpec{Kind: "identity", Loss: 0.1},
+		Traffic:     TrafficSpec{Pattern: "stochastic", Lambda: 0.3},
+		Protocol:    ProtocolSpec{Alg: "full-parallel", Eps: 0.25},
+		Sim:         SimSpec{Slots: 50_000, Seed: 1, WarmupFrac: 0.1},
+	})
+}
