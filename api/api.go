@@ -1,0 +1,82 @@
+// Package api holds the dynschedd wire types: the JSON request,
+// response and event documents of the daemon's /v1 HTTP surface.
+// It is the importable client surface — external programs decode
+// service responses with these types (see examples/client for the
+// submit → stream → fetch flow) and internal/server serves them, so
+// the two cannot drift apart.
+package api
+
+import (
+	"encoding/json"
+
+	"dynsched"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle states. Queued and Running are transient; Done, Failed
+// and Cancelled are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a job in state s will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// SubmitRequest is the POST /v1/jobs body. Exactly one of Name (a
+// registered scenario) and Scenario (an inline spec) must be set.
+type SubmitRequest struct {
+	Name     string             `json:"name,omitempty"`
+	Scenario *dynsched.Scenario `json:"scenario,omitempty"`
+	// Slots and Seed, when non-zero, override the scenario before it is
+	// hashed and run — so `{"name":"sinr-stochastic","slots":2000}` is a
+	// distinct cacheable experiment from the full-length one.
+	Slots int64 `json:"slots,omitempty"`
+	Seed  int64 `json:"seed,omitempty"`
+	// NoCache forces a fresh simulation even when the result cache
+	// holds this spec.
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// JobView is the API representation of a job.
+type JobView struct {
+	ID       string `json:"id"`
+	Hash     string `json:"hash"`
+	Scenario string `json:"scenario"`
+	State    State  `json:"state"`
+	Cached   bool   `json:"cached"`
+	Error    string `json:"error,omitempty"`
+	// Result holds the run's marshaled SimResult once the job is done.
+	// It is the exact byte sequence the result cache stores, so two
+	// submissions of one spec observe bit-identical documents.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Event is one entry of a job's progress stream, delivered to clients
+// as NDJSON by GET /v1/jobs/{id}/events. Seq is the event's position
+// in the job's log, assigned contiguously from 0, so a client can
+// detect gaps.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Job  string `json:"job"`
+	Type string `json:"type"` // queued, started, progress, done, failed, cancelled
+	// Cached marks a done event served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Progress carries the live snapshot of progress events.
+	Progress *dynsched.SimProgress `json:"progress,omitempty"`
+	Error    string                `json:"error,omitempty"`
+}
+
+// ScenarioInfo is one GET /v1/scenarios entry.
+type ScenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Hash        string `json:"hash"`
+}

@@ -1,0 +1,78 @@
+// Command dynschedd is the dynsched simulation daemon: it serves the
+// scenario library and ad-hoc Scenario specs over an HTTP/JSON API,
+// runs submissions on a bounded job queue and worker pool, streams
+// live progress as NDJSON, and serves repeated submissions from a
+// content-addressed result cache keyed by the canonical spec hash.
+//
+// Examples:
+//
+//	dynschedd -addr :8080
+//	dynschedd -addr :8080 -workers 4 -queue 128 -cache-dir /var/cache/dynschedd
+//
+//	curl -s localhost:8080/v1/scenarios
+//	curl -s -XPOST localhost:8080/v1/jobs -d '{"name":"sinr-stochastic"}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -sN localhost:8080/v1/jobs/job-1/events
+//	curl -s -XDELETE localhost:8080/v1/jobs/job-1
+//
+// The first SIGINT/SIGTERM stops accepting connections, cancels the
+// running simulations (their jobs end as "cancelled") and exits; a
+// second signal kills the process immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"dynsched/internal/cli"
+	"dynsched/internal/server"
+)
+
+func main() {
+	so := cli.ServerOptions{Addr: ":8080"}
+	cli.RegisterServerFlags(flag.CommandLine, &so)
+	flag.Parse()
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	srv := server.New(server.Config{
+		Workers:       so.Workers,
+		QueueDepth:    so.QueueDepth,
+		CacheEntries:  so.CacheEntries,
+		CacheDir:      so.CacheDir,
+		ProgressEvery: so.ProgressEvery,
+	})
+	srv.Start(ctx)
+
+	ln, err := net.Listen("tcp", so.Addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynschedd:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("dynschedd listening on %s", ln.Addr())
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dynschedd:", err)
+		os.Exit(1)
+	}
+	srv.Wait()
+	log.Printf("dynschedd stopped")
+}

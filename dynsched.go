@@ -457,6 +457,19 @@ type BaseObserver = sim.BaseObserver
 // SlotView is the per-slot snapshot handed to observers.
 type SlotView = sim.SlotView
 
+// SimProgress is a live snapshot of a running simulation — slots done,
+// injection/delivery counters and a streaming latency summary — as
+// emitted by the progress observer and dynschedd's event stream.
+type SimProgress = sim.Progress
+
+// NewProgressObserver builds an observer that emits a SimProgress
+// snapshot every `every` slots (0 = totalSlots/20) plus a final one
+// when the run ends; attach it via WithObservers or SimulateContext.
+// report runs on the engine goroutine: keep it cheap or hand off.
+func NewProgressObserver(totalSlots, every int64, report func(SimProgress)) SimObserver {
+	return sim.NewProgressObserver(totalSlots, every, report)
+}
+
 // Delivery describes one packet reaching the end of its path.
 type Delivery = sim.Delivery
 

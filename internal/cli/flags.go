@@ -31,6 +31,28 @@ func RegisterWorkloadFlags(fs *flag.FlagSet, o *Options) {
 	fs.BoolVar(&o.DisableDelays, "no-delays", o.DisableDelays, "disable the adversarial random initial delays (ablation)")
 }
 
+// ServerOptions mirror cmd/dynschedd's flags: where to listen and how
+// the job queue, worker pool and result cache are sized.
+type ServerOptions struct {
+	Addr          string
+	Workers       int
+	QueueDepth    int
+	CacheEntries  int
+	CacheDir      string
+	ProgressEvery int64
+}
+
+// RegisterServerFlags registers the dynschedd service flags onto fs,
+// writing into o. Callers set the defaults by pre-filling o.
+func RegisterServerFlags(fs *flag.FlagSet, o *ServerOptions) {
+	fs.StringVar(&o.Addr, "addr", o.Addr, "HTTP listen address")
+	fs.IntVar(&o.Workers, "workers", o.Workers, "simulation worker pool size (0 = all CPUs)")
+	fs.IntVar(&o.QueueDepth, "queue", o.QueueDepth, "bounded job queue depth; submissions beyond it get 503")
+	fs.IntVar(&o.CacheEntries, "cache", o.CacheEntries, "in-memory result cache entries (0 = default 256)")
+	fs.StringVar(&o.CacheDir, "cache-dir", o.CacheDir, "spill cached results to this directory (empty = memory only)")
+	fs.Int64Var(&o.ProgressEvery, "progress-every", o.ProgressEvery, "progress event period in slots (0 = run length / 20)")
+}
+
 // SignalContext returns a context cancelled by SIGINT/SIGTERM. The
 // signal handler is released as soon as the context is done (or the
 // returned stop function is called), restoring the default disposition

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the content-addressed result store: marshaled sim.Result
+// documents keyed by the canonical Scenario.Hash. Entries live in
+// memory up to a bounded count with FIFO eviction; with a spill
+// directory configured, every entry is also written to disk
+// (<dir>/<hash>.json) and evicted or restarted-over entries are
+// re-served from there. Because simulations are deterministic in their
+// spec (seed included), a cached document is bit-identical to what a
+// fresh run of the same spec would produce.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	dir     string
+	entries map[string][]byte
+	order   []string // insertion order for FIFO eviction
+}
+
+// NewCache builds a cache holding up to max in-memory entries (max <= 0
+// disables the memory tier) spilling to dir (empty = no disk tier).
+// The spill directory is created if it does not exist; if that fails,
+// the disk tier is disabled — loudly, since the operator asked for it —
+// rather than every write failing silently.
+func NewCache(max int, dir string) *Cache {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Printf("server: disabling the disk cache tier: %v", err)
+			dir = ""
+		}
+	}
+	return &Cache{max: max, dir: dir, entries: map[string][]byte{}}
+}
+
+// Get returns the cached document for hash. Memory is consulted first,
+// then the spill directory; a disk hit is promoted back into memory.
+func (c *Cache) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	if data, ok := c.entries[hash]; ok {
+		c.mu.Unlock()
+		return data, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return nil, false
+	}
+	c.put(hash, data, false)
+	return data, true
+}
+
+// Put stores the document for hash in memory and, when configured, on
+// disk. Disk writes are best-effort: a full or read-only spill
+// directory degrades the cache, it does not fail the job.
+func (c *Cache) Put(hash string, data []byte) {
+	c.put(hash, data, true)
+}
+
+func (c *Cache) put(hash string, data []byte, spill bool) {
+	c.mu.Lock()
+	if _, dup := c.entries[hash]; !dup && c.max > 0 {
+		c.entries[hash] = data
+		c.order = append(c.order, hash)
+		for len(c.order) > c.max {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.mu.Unlock()
+	if spill && c.dir != "" {
+		// Write-then-rename so a crashed daemon never leaves a torn
+		// document a restart would serve.
+		tmp := c.path(hash) + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err == nil {
+			_ = os.Rename(tmp, c.path(hash))
+		}
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}

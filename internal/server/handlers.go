@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"dynsched"
+)
+
+// maxBodyBytes bounds submission bodies; scenario specs are small.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the service's HTTP surface. It is safe to serve
+// before Start, but jobs only execute once the worker pool runs.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleSubmit(w, r)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.jobList())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use POST to submit or GET to list")
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "submission larger than %d bytes", maxBodyBytes)
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req SubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing submission: %v", err)
+		return
+	}
+
+	var sc dynsched.Scenario
+	switch {
+	case req.Name != "" && req.Scenario != nil:
+		writeError(w, http.StatusBadRequest, "name and scenario are mutually exclusive")
+		return
+	case req.Name != "":
+		reg, ok := dynsched.ScenarioByName(req.Name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown scenario %q (see GET /v1/scenarios)", req.Name)
+			return
+		}
+		sc = reg
+	case req.Scenario != nil:
+		sc = *req.Scenario
+	default:
+		writeError(w, http.StatusBadRequest, "submission needs a name or an inline scenario")
+		return
+	}
+	if req.Slots != 0 {
+		sc.Sim.Slots = req.Slots
+	}
+	if req.Seed != 0 {
+		sc.Sim.Seed = req.Seed
+	}
+	if sc.Sweep.Axis != "" {
+		writeError(w, http.StatusBadRequest, "sweep scenarios are not supported by the job API; run them with cmd/dynsched")
+		return
+	}
+	if err := sc.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Compile eagerly so unbuildable specs fail the submission, not the
+	// worker: the submitter gets the diagnostic synchronously. The
+	// compilation rides along to the worker instead of being redone.
+	compiled, err := sc.Compile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	j, cached, err := s.submit(sc, compiled, req.NoCache)
+	if errors.Is(err, errQueueFull) {
+		writeError(w, http.StatusServiceUnavailable, "job queue is full (%d queued); retry later", s.queueLen())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, j.View(false))
+}
+
+// handleJob routes /v1/jobs/{id} and /v1/jobs/{id}/events.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	j, ok := s.job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, j.View(true))
+	case sub == "" && r.Method == http.MethodDelete:
+		j.requestCancel()
+		writeJSON(w, http.StatusOK, j.View(false))
+	case sub == "events" && r.Method == http.MethodGet:
+		s.streamEvents(w, r, j)
+	default:
+		writeError(w, http.StatusNotFound, "unknown job endpoint %q", r.URL.Path)
+	}
+}
+
+// streamEvents writes the job's event log as NDJSON — replaying what
+// already happened, then following live — and returns after the
+// terminal event or when the client disconnects.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// Wake blocked event waits when the client goes away: Cond has no
+	// context support, so a disconnect broadcasts under the job lock.
+	stop := context.AfterFunc(r.Context(), func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+
+	enc := json.NewEncoder(w)
+	for i := 0; ; i++ {
+		e, ok := j.event(r.Context(), i)
+		if !ok {
+			return // client gone
+		}
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		switch e.Type {
+		case "done", "failed", "cancelled":
+			return
+		}
+	}
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	all := dynsched.Scenarios()
+	out := make([]ScenarioInfo, 0, len(all))
+	for _, sc := range all {
+		out = append(out, ScenarioInfo{Name: sc.Name, Description: sc.Description, Hash: sc.Hash()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":      true,
+		"queued":  s.queueLen(),
+		"jobs":    s.jobCount(),
+		"cached":  s.cache.Len(),
+		"workers": s.cfg.Workers,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

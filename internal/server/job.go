@@ -1,0 +1,152 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+
+	"dynsched"
+	"dynsched/api"
+)
+
+// The wire types live in the exported dynsched/api package so external
+// clients can decode service responses; the server aliases them rather
+// than redefining parallel shapes that could drift.
+type (
+	// State is a job's lifecycle phase.
+	State = api.State
+	// Event is one entry of a job's NDJSON progress stream.
+	Event = api.Event
+	// JobView is the API representation of a job.
+	JobView = api.JobView
+	// SubmitRequest is the POST /v1/jobs body.
+	SubmitRequest = api.SubmitRequest
+	// ScenarioInfo is one GET /v1/scenarios entry.
+	ScenarioInfo = api.ScenarioInfo
+)
+
+// Job lifecycle states, re-exported for the server's own transitions.
+const (
+	StateQueued    = api.StateQueued
+	StateRunning   = api.StateRunning
+	StateDone      = api.StateDone
+	StateFailed    = api.StateFailed
+	StateCancelled = api.StateCancelled
+)
+
+// Job is one submitted simulation. All mutable state is guarded by mu;
+// the event log grows append-only and cond wakes streamers when it
+// does.
+type Job struct {
+	ID       string
+	Hash     string
+	Scenario dynsched.Scenario
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	state  State
+	cached bool
+	errMsg string
+	result []byte
+	events []Event
+	// cancelRequested makes requestCancel idempotent: only the first
+	// DELETE reports having changed anything.
+	cancelRequested bool
+	cancel          context.CancelFunc
+
+	// compiled carries the submit-time compilation (done there so bad
+	// specs fail the POST synchronously) to the one worker that runs the
+	// job, which clears it — no recompilation needed. Only that worker
+	// touches it after construction; the queue send orders the accesses.
+	compiled *dynsched.CompiledScenario
+}
+
+func newJob(id, hash string, sc dynsched.Scenario) *Job {
+	j := &Job{ID: id, Hash: hash, Scenario: sc, state: StateQueued}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// publishLocked appends an event to the log (stamping Seq and Job) and
+// wakes every waiting streamer. Callers must hold j.mu.
+func (j *Job) publishLocked(e Event) {
+	e.Seq = len(j.events)
+	e.Job = j.ID
+	j.events = append(j.events, e)
+	j.cond.Broadcast()
+}
+
+// publish is publishLocked for callers not holding the lock.
+func (j *Job) publish(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.publishLocked(e)
+}
+
+// currentState reads the job's state without building a view.
+func (j *Job) currentState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// View snapshots the job for the API. Result bytes are included only
+// for done jobs and only when withResult is set.
+func (j *Job) View(withResult bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:       j.ID,
+		Hash:     j.Hash,
+		Scenario: j.Scenario.Name,
+		State:    j.state,
+		Cached:   j.cached,
+		Error:    j.errMsg,
+	}
+	if withResult && j.state == StateDone {
+		v.Result = json.RawMessage(j.result)
+	}
+	return v
+}
+
+// event blocks until the job's i-th event exists and returns it. It
+// returns ok=false when ctx is done first; the caller must have
+// arranged for a broadcast on ctx cancellation (see streamEvents).
+func (j *Job) event(ctx context.Context, i int) (Event, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i >= len(j.events) {
+		if ctx.Err() != nil {
+			return Event{}, false
+		}
+		j.cond.Wait()
+	}
+	return j.events[i], true
+}
+
+// requestCancel asks the job to stop. A queued job transitions to
+// cancelled immediately (the worker will skip it); a running job has
+// its run context cancelled and the worker publishes the terminal
+// event. Terminal jobs are left untouched. It reports whether the
+// request changed anything. Because both this transition and the
+// worker's queued→running transition happen under j.mu, a DELETE
+// cannot slip between them: the job is either still queued (cancelled
+// here) or already running (cancelled through its context).
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() || j.cancelRequested {
+		return false
+	}
+	j.cancelRequested = true
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.publishLocked(Event{Type: "cancelled"})
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return true
+}

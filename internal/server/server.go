@@ -1,0 +1,309 @@
+// Package server turns the dynsched library into a long-running
+// simulation service: an HTTP/JSON API over a bounded job queue, a
+// worker pool that executes submitted Scenario specs with live
+// progress streaming, and a content-addressed result cache keyed by
+// the canonical spec hash so identical submissions are served from
+// memory (or a disk spill directory) without re-simulating.
+//
+// The API surface (all under /v1):
+//
+//	POST   /v1/jobs              submit a spec ({"scenario": {...}}) or a
+//	                             registered name ({"name": "..."}); 202 on
+//	                             enqueue, 200 on a cache hit, 503 when the
+//	                             queue is full
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job state, including the result when done
+//	GET    /v1/jobs/{id}/events  NDJSON progress stream until terminal
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/scenarios         the registered scenario library
+//	GET    /healthz              liveness and queue occupancy
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dynsched"
+	"dynsched/internal/sim"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Workers is the simulation worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run (0 = 64).
+	// Submissions beyond it are rejected with 503 rather than queued
+	// without bound.
+	QueueDepth int
+	// CacheEntries bounds the in-memory result cache (0 = 256, negative
+	// disables the memory tier).
+	CacheEntries int
+	// CacheDir, when set, spills every cached result to disk and serves
+	// evicted entries from there across restarts.
+	CacheDir string
+	// ProgressEvery is the progress-event period in slots (0 = one
+	// twentieth of each job's run length). An explicit period is floored
+	// so no job emits more than maxProgressEvents progress events.
+	ProgressEvery int64
+	// MaxJobs bounds the job registry (0 = 4096); terminal jobs beyond
+	// it are forgotten oldest-first. Results stay in the cache.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// Server is the simulation service: job registry, bounded queue,
+// worker pool and result cache behind an http.Handler.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	queue chan *Job
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+
+	wg sync.WaitGroup
+}
+
+// New builds a server. Call Start to launch the worker pool and
+// Handler to obtain the HTTP surface.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheEntries, cfg.CacheDir),
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  map[string]*Job{},
+	}
+}
+
+// Start launches the worker pool. Cancelling ctx stops the workers:
+// running jobs are cancelled through their run contexts and queued
+// jobs stay queued (the process is exiting). Wait blocks until the
+// pool has drained.
+func (s *Server) Start(ctx context.Context) {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(ctx)
+	}
+}
+
+// Wait blocks until every worker has returned (after the Start context
+// is cancelled).
+func (s *Server) Wait() { s.wg.Wait() }
+
+func (s *Server) worker(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(ctx, j)
+		}
+	}
+}
+
+// runJob executes one queued job end to end: transition to running,
+// compile, simulate with a progress observer publishing into the
+// job's event stream, cache and publish the result.
+func (s *Server) runJob(ctx context.Context, j *Job) {
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.publishLocked(Event{Type: "started"})
+	j.mu.Unlock()
+
+	res, err := s.simulate(jctx, j)
+	if err != nil {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			j.state = StateCancelled
+			j.publishLocked(Event{Type: "cancelled"})
+			return
+		}
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		j.publishLocked(Event{Type: "failed", Error: j.errMsg})
+		return
+	}
+
+	data, err := json.Marshal(res)
+	if err != nil {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("marshaling result: %v", err)
+		j.publishLocked(Event{Type: "failed", Error: j.errMsg})
+		return
+	}
+	s.cache.Put(j.Hash, data)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateDone
+	j.result = data
+	j.publishLocked(Event{Type: "done"})
+}
+
+// maxProgressEvents bounds one job's share of the event log: however
+// small the configured period, a job emits at most this many progress
+// events, so a billion-slot submission cannot grow its retained event
+// log (and every later /events replay) without bound.
+const maxProgressEvents = 512
+
+// simulate runs the job's scenario — reusing the submit-time
+// compilation when present — with a progress observer that publishes
+// into the job's event stream.
+func (s *Server) simulate(ctx context.Context, j *Job) (*dynsched.SimResult, error) {
+	c := j.compiled
+	j.compiled = nil // the components are single-run; don't retain them
+	if c == nil {
+		var err error
+		if c, err = j.Scenario.Compile(); err != nil {
+			return nil, err
+		}
+	}
+	every := s.cfg.ProgressEvery
+	// Ceil division: a floor-divided period would admit up to 2x-1 the
+	// intended event count for slot counts just above the cap.
+	if floor := (j.Scenario.Sim.Slots + maxProgressEvents - 1) / maxProgressEvents; every > 0 && every < floor {
+		every = floor
+	}
+	progress := sim.NewProgressObserver(j.Scenario.Sim.Slots, every, func(p sim.Progress) {
+		if p.Done {
+			// The terminal done/cancelled/failed event carries the
+			// outcome; a trailing progress snapshot would race it.
+			return
+		}
+		snap := p
+		j.publish(Event{Type: "progress", Progress: &snap})
+	})
+	c.Observers = append(c.Observers, progress)
+	return c.Run(ctx)
+}
+
+// submit registers and enqueues a job for the scenario, serving it
+// from the result cache instead when a bit-identical spec has already
+// run (unless noCache). compiled, when non-nil, is handed to the
+// worker so the spec is not compiled twice. It returns the job and
+// whether it was served from cache; errQueueFull when the queue is at
+// capacity.
+func (s *Server) submit(sc dynsched.Scenario, compiled *dynsched.CompiledScenario, noCache bool) (*Job, bool, error) {
+	hash := sc.Hash()
+	if !noCache {
+		if data, ok := s.cache.Get(hash); ok {
+			j := newJob(s.allocID(), hash, sc)
+			j.state = StateDone
+			j.cached = true
+			j.result = data
+			j.publish(Event{Type: "done", Cached: true})
+			s.register(j)
+			return j, true, nil
+		}
+	}
+	j := newJob(s.allocID(), hash, sc)
+	j.compiled = compiled
+	j.publish(Event{Type: "queued"})
+	select {
+	case s.queue <- j:
+	default:
+		return nil, false, errQueueFull
+	}
+	s.register(j)
+	return j, false, nil
+}
+
+var errQueueFull = errors.New("job queue is full")
+
+func (s *Server) allocID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return fmt.Sprintf("job-%d", s.nextID)
+}
+
+// register adds the job to the registry, forgetting the oldest
+// terminal jobs beyond the MaxJobs bound.
+func (s *Server) register(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	if len(s.order) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.cfg.MaxJobs
+	for _, id := range s.order {
+		if excess > 0 && s.jobs[id].currentState().Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// jobCount returns the number of registered jobs.
+func (s *Server) jobCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// job looks a registered job up.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// jobList snapshots every registered job in submission order.
+func (s *Server) jobList() []JobView {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.View(false))
+	}
+	return out
+}
+
+// queueLen returns the number of jobs waiting for a worker.
+func (s *Server) queueLen() int { return len(s.queue) }

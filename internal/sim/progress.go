@@ -1,0 +1,100 @@
+// Live progress reporting. A ProgressObserver is a stock Observer that
+// condenses the run into periodic Progress snapshots — slots done,
+// injection/delivery counters, a live latency summary — for callers
+// that watch a simulation from outside the engine goroutine (the
+// dynschedd event stream, a TUI, a log line every N slots). It is
+// attached like any other observer and adds one branch per slot.
+package sim
+
+import (
+	"dynsched/internal/inject"
+	"dynsched/internal/stats"
+)
+
+// Progress is a point-in-time snapshot of a running simulation.
+type Progress struct {
+	// Slots is the number of slots executed so far; TotalSlots is the
+	// configured run length.
+	Slots      int64 `json:"slots"`
+	TotalSlots int64 `json:"totalSlots"`
+	Injected   int64 `json:"injected"`
+	Delivered  int64 `json:"delivered"`
+	InFlight   int64 `json:"inFlight"`
+	// Latency summarises the end-to-end latencies of the deliveries seen
+	// so far (all of them — the warm-up exclusion applies to the final
+	// Result, not to live progress).
+	Latency stats.SummaryView `json:"latency"`
+	// Done marks the final snapshot, emitted from OnEnd.
+	Done bool `json:"done"`
+}
+
+// ProgressObserver emits a Progress snapshot every Every slots and a
+// final one (Done=true) when the run ends. Report is called on the
+// engine goroutine: keep it cheap or hand off.
+type ProgressObserver struct {
+	BaseObserver
+	every  int64
+	total  int64
+	report func(Progress)
+
+	injected  int64
+	delivered int64
+	lat       stats.Summary
+}
+
+// NewProgressObserver builds a progress observer for a run of
+// totalSlots slots reporting every `every` slots (every <= 0 defaults
+// to totalSlots/20, min 1 — about twenty snapshots per run). A nil
+// report makes the observer inert.
+func NewProgressObserver(totalSlots, every int64, report func(Progress)) *ProgressObserver {
+	if every <= 0 {
+		every = totalSlots / 20
+		if every < 1 {
+			every = 1
+		}
+	}
+	return &ProgressObserver{every: every, total: totalSlots, report: report}
+}
+
+// OnInject implements Observer.
+func (o *ProgressObserver) OnInject(t int64, pkts []inject.Packet) {
+	o.injected += int64(len(pkts))
+}
+
+// OnDeliver implements Observer.
+func (o *ProgressObserver) OnDeliver(t int64, d Delivery) {
+	o.delivered++
+	o.lat.Add(float64(t - d.Injected + 1))
+}
+
+// OnSlot implements Observer.
+func (o *ProgressObserver) OnSlot(t int64, v SlotView) {
+	if o.report == nil || (t+1)%o.every != 0 {
+		return
+	}
+	o.report(Progress{
+		Slots:      t + 1,
+		TotalSlots: o.total,
+		Injected:   o.injected,
+		Delivered:  o.delivered,
+		InFlight:   int64(v.InFlight),
+		Latency:    o.lat.View(),
+	})
+}
+
+// OnEnd implements Observer: the final snapshot is drawn from the
+// Result, so a cancelled run reports the slots it actually executed.
+func (o *ProgressObserver) OnEnd(r *Result) {
+	if o.report == nil {
+		return
+	}
+	o.report(Progress{
+		Slots:      r.Slots,
+		TotalSlots: o.total,
+		Injected:   r.Injected,
+		Delivered:  r.Delivered,
+		InFlight:   r.InFlight,
+		Latency:    o.lat.View(),
+		Done:       true,
+	})
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"dynsched/internal/inject"
+	"dynsched/internal/interference"
+	"dynsched/internal/netgraph"
+)
+
+// progressWorkload builds the small single-link workload used by the
+// engine tests.
+func progressWorkload(t *testing.T) (interference.Model, inject.Process, Protocol) {
+	t.Helper()
+	model := interference.Identity{Links: 1}
+	proc, err := inject.NewStochastic(model, []inject.Generator{{
+		Choices: []inject.PathChoice{{Path: netgraph.Path{0}, P: 0.4}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, proc, newFifoProto(1)
+}
+
+func TestProgressObserver(t *testing.T) {
+	model, proc, proto := progressWorkload(t)
+	var snaps []Progress
+	obs := NewProgressObserver(4_000, 1_000, func(p Progress) { snaps = append(snaps, p) })
+	res, err := Run(context.Background(), Config{Slots: 4_000, Seed: 3}, model, proc, proto, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4 periodic snapshots plus the final one.
+	if len(snaps) != 5 {
+		t.Fatalf("got %d snapshots, want 5: %+v", len(snaps), snaps)
+	}
+	for i, p := range snaps[:4] {
+		if want := int64(1_000 * (i + 1)); p.Slots != want {
+			t.Errorf("snapshot %d at slot %d, want %d", i, p.Slots, want)
+		}
+		if p.Done {
+			t.Errorf("snapshot %d marked done", i)
+		}
+		if p.TotalSlots != 4_000 {
+			t.Errorf("snapshot %d total %d", i, p.TotalSlots)
+		}
+	}
+	final := snaps[4]
+	if !final.Done {
+		t.Error("final snapshot not marked done")
+	}
+	if final.Slots != res.Slots || final.Injected != res.Injected ||
+		final.Delivered != res.Delivered || final.InFlight != res.InFlight {
+		t.Errorf("final snapshot %+v disagrees with result slots=%d injected=%d delivered=%d inflight=%d",
+			final, res.Slots, res.Injected, res.Delivered, res.InFlight)
+	}
+	// Counters grow monotonically and the live latency summary counts
+	// every delivery (no warm-up exclusion on progress).
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Injected < snaps[i-1].Injected || snaps[i].Delivered < snaps[i-1].Delivered {
+			t.Errorf("snapshot %d counters went backwards: %+v then %+v", i, snaps[i-1], snaps[i])
+		}
+	}
+	if final.Latency.N != res.Delivered {
+		t.Errorf("latency summary has %d samples, want %d deliveries", final.Latency.N, res.Delivered)
+	}
+	if res.Delivered > 0 && final.Latency.Mean <= 0 {
+		t.Errorf("mean latency %v not positive", final.Latency.Mean)
+	}
+}
+
+func TestProgressObserverCancelled(t *testing.T) {
+	model, proc, proto := progressWorkload(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var snaps []Progress
+	obs := NewProgressObserver(1_000_000, 10_000, func(p Progress) {
+		snaps = append(snaps, p)
+		if len(snaps) == 2 {
+			cancel()
+		}
+	})
+	res, err := Run(ctx, Config{Slots: 1_000_000, Seed: 3}, model, proc, proto, obs)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	final := snaps[len(snaps)-1]
+	if !final.Done {
+		t.Fatal("no final snapshot after cancellation")
+	}
+	if final.Slots != res.Slots || final.Slots >= 1_000_000 {
+		t.Errorf("final snapshot reports %d slots, result %d", final.Slots, res.Slots)
+	}
+}
+
+func TestProgressObserverDefaults(t *testing.T) {
+	// every<=0 defaults to total/20 (min 1), and a nil report is inert.
+	model, proc, proto := progressWorkload(t)
+	var n int
+	obs := NewProgressObserver(2_000, 0, func(p Progress) { n++ })
+	if _, err := Run(context.Background(), Config{Slots: 2_000, Seed: 1}, model, proc, proto, obs); err != nil {
+		t.Fatal(err)
+	}
+	if n != 21 { // 20 periodic + final
+		t.Errorf("default cadence produced %d snapshots, want 21", n)
+	}
+	inert := NewProgressObserver(100, 0, nil)
+	if _, err := Run(context.Background(), Config{Slots: 100, Seed: 1}, model, proc, proto, inert); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -66,6 +66,24 @@ func (s *Summary) Min() float64 { return s.min }
 // Max returns the largest observation, or 0 with no observations.
 func (s *Summary) Max() float64 { return s.max }
 
+// SummaryView is a Summary's headline numbers in exported, JSON-ready
+// form — for progress events and other wire payloads where the
+// mergeable internal state (m2) is noise. Unlike Summary's own
+// MarshalJSON it is lossy: a view cannot be folded back into an
+// accumulator.
+type SummaryView struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// View returns the summary's headline numbers.
+func (s Summary) View() SummaryView {
+	return SummaryView{N: s.n, Mean: s.Mean(), Std: s.Std(), Min: s.min, Max: s.max}
+}
+
 // Merge folds other into s, as if all of other's observations had been
 // added to s directly.
 func (s *Summary) Merge(other *Summary) {

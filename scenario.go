@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"sync"
 
 	"dynsched/internal/cli"
@@ -73,7 +74,9 @@ type SimSpec struct {
 	Seed        int64   `json:"seed"`
 	WarmupFrac  float64 `json:"warmupFrac,omitempty"`
 	SampleEvery int64   `json:"sampleEvery,omitempty"`
-	// Parallel caps Replicate's worker pool (0 = GOMAXPROCS).
+	// Parallel caps Replicate's worker pool (0 = GOMAXPROCS). It is an
+	// execution knob, not part of the experiment: results are
+	// bit-identical for every value, and it is excluded from Hash.
 	Parallel int `json:"parallel,omitempty"`
 }
 
@@ -204,8 +207,22 @@ func (s Scenario) Validate() error {
 	if s.Sim.Slots <= 0 {
 		return fmt.Errorf("dynsched: scenario %q: non-positive slot count %d", s.Name, s.Sim.Slots)
 	}
-	if s.Sim.WarmupFrac < 0 || s.Sim.WarmupFrac >= 1 {
+	// The inverted range test also rejects NaN, which every plain
+	// comparison lets through.
+	if !(s.Sim.WarmupFrac >= 0 && s.Sim.WarmupFrac < 1) {
 		return fmt.Errorf("dynsched: scenario %q: WarmupFrac %v outside [0,1)", s.Name, s.Sim.WarmupFrac)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"traffic lambda", s.Traffic.Lambda},
+		{"protocol eps", s.Protocol.Eps},
+		{"model loss", s.Model.Loss},
+	} {
+		if math.IsNaN(p.v) || math.IsInf(p.v, 0) {
+			return fmt.Errorf("dynsched: scenario %q: %s is %v (must be finite)", s.Name, p.name, p.v)
+		}
 	}
 	switch s.Traffic.Pattern {
 	case "", "stochastic", "burst", "spread", "sawtooth", "rotating":
@@ -221,6 +238,13 @@ func (s Scenario) Validate() error {
 		if len(s.Sweep.Values) == 0 {
 			return fmt.Errorf("dynsched: scenario %q: sweep axis %q has no values", s.Name, s.Sweep.Axis)
 		}
+		for i, v := range s.Sweep.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("dynsched: scenario %q: sweep value %d on axis %q is %v (must be finite)", s.Name, i, s.Sweep.Axis, v)
+			}
+		}
+	} else if len(s.Sweep.Values) > 0 {
+		return fmt.Errorf("dynsched: scenario %q: sweep has %d values but no axis", s.Name, len(s.Sweep.Values))
 	}
 	return nil
 }

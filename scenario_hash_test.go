@@ -1,0 +1,144 @@
+package dynsched
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// goldenScenario is the fixed fingerprint fixture. Do not change it:
+// the golden test below pins its canonical bytes and hash, which is
+// the byte-stability contract the dynschedd result cache keys on.
+var goldenScenario = Scenario{
+	Name:        "golden",
+	Description: "pinned fingerprint fixture",
+	Network:     NetworkSpec{Topology: "line", Nodes: 6, Hops: 5},
+	Model:       ModelSpec{Kind: "identity", Loss: 0.1},
+	Traffic:     TrafficSpec{Pattern: "stochastic", Lambda: 0.35},
+	Protocol:    ProtocolSpec{Alg: "full-parallel", Eps: 0.25},
+	Sim:         SimSpec{Slots: 50000, Seed: 7, WarmupFrac: 0.1},
+}
+
+const (
+	goldenCanonical = `{"description":"pinned fingerprint fixture","model":{"kind":"identity","loss":0.1},"name":"golden","network":{"hops":5,"nodes":6,"topology":"line"},"protocol":{"alg":"full-parallel","eps":0.25},"sim":{"seed":7,"slots":50000,"warmupFrac":0.1},"sweep":{},"traffic":{"lambda":0.35,"pattern":"stochastic"}}`
+	goldenHash      = "d46f85d47706f25168c125418ae2b706cd88fa9380796999cc5e7b6170085c7c"
+)
+
+// TestScenarioHashGolden pins the canonical encoding byte for byte:
+// keys sorted, no whitespace, float literals exactly as the standard
+// encoder writes them. If this test fails, every previously cached
+// result in every dynschedd spill directory is invalidated — that must
+// be a deliberate decision, not drift.
+func TestScenarioHashGolden(t *testing.T) {
+	doc, err := goldenScenario.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(doc) != goldenCanonical {
+		t.Errorf("canonical JSON drifted:\n got %s\nwant %s", doc, goldenCanonical)
+	}
+	if h := goldenScenario.Hash(); h != goldenHash {
+		t.Errorf("hash drifted: got %s want %s", h, goldenHash)
+	}
+}
+
+// TestScenarioHashConstructionInvariant checks that the fingerprint
+// only depends on the spec, not on how the value was built: the same
+// document parsed from shuffled-key, whitespace-heavy JSON hashes
+// identically to the struct literal.
+func TestScenarioHashConstructionInvariant(t *testing.T) {
+	shuffled := `{
+		"sim":      {"warmupFrac": 0.1, "seed": 7, "slots": 50000},
+		"protocol": {"eps": 0.25, "alg": "full-parallel"},
+		"traffic":  {"pattern": "stochastic", "lambda": 0.35},
+		"model":    {"loss": 0.1, "kind": "identity"},
+		"network":  {"hops": 5, "topology": "line", "nodes": 6},
+		"description": "pinned fingerprint fixture",
+		"name":        "golden"
+	}`
+	parsed, err := ParseScenario([]byte(shuffled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Hash() != goldenScenario.Hash() {
+		t.Errorf("parsed scenario hash %s != literal hash %s", parsed.Hash(), goldenScenario.Hash())
+	}
+
+	// The indented EncodeJSON form round-trips to the same fingerprint.
+	enc, err := goldenScenario.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseScenario(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != goldenHash {
+		t.Errorf("EncodeJSON round trip changed the hash: %s", back.Hash())
+	}
+}
+
+// TestScenarioHashDistinguishes checks that every spec axis feeds the
+// fingerprint: changing any single field must change the hash.
+func TestScenarioHashDistinguishes(t *testing.T) {
+	muts := map[string]func(*Scenario){
+		"name":   func(s *Scenario) { s.Name = "other" },
+		"nodes":  func(s *Scenario) { s.Network.Nodes = 7 },
+		"model":  func(s *Scenario) { s.Model.Kind = "mac" },
+		"lambda": func(s *Scenario) { s.Traffic.Lambda = 0.36 },
+		"eps":    func(s *Scenario) { s.Protocol.Eps = 0.26 },
+		"seed":   func(s *Scenario) { s.Sim.Seed = 8 },
+		"slots":  func(s *Scenario) { s.Sim.Slots = 50001 },
+	}
+	for name, mut := range muts {
+		s := goldenScenario
+		mut(&s)
+		if s.Hash() == goldenHash {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+
+	// Execution-only knobs are NOT part of the content address: serial
+	// and parallel runs of one spec are bit-identical, so they must
+	// share a cache key, and observers are code.
+	s := goldenScenario
+	s.Sim.Parallel = 8
+	s.Observers = []ObserverFactory{func() SimObserver { return BaseObserver{} }}
+	if s.Hash() != goldenHash {
+		t.Errorf("Sim.Parallel/Observers changed the hash: %s", s.Hash())
+	}
+}
+
+// TestScenarioValidateNonFinite pins the satellite: NaN/Inf rates and
+// sweep values fail Validate with descriptive errors instead of
+// failing mid-run (and would otherwise panic Hash, whose canonical
+// form cannot encode NaN).
+func TestScenarioValidateNonFinite(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"nan lambda", func(s *Scenario) { s.Traffic.Lambda = math.NaN() }, "traffic lambda"},
+		{"inf eps", func(s *Scenario) { s.Protocol.Eps = math.Inf(1) }, "protocol eps"},
+		{"nan loss", func(s *Scenario) { s.Model.Loss = math.NaN() }, "model loss"},
+		{"nan warmup", func(s *Scenario) { s.Sim.WarmupFrac = math.NaN() }, "WarmupFrac"},
+		{"nan sweep value", func(s *Scenario) {
+			s.Sweep = SweepSpec{Axis: "lambda", Values: []float64{0.1, math.NaN()}}
+		}, "sweep value 1"},
+		{"inf sweep value", func(s *Scenario) {
+			s.Sweep = SweepSpec{Axis: "eps", Values: []float64{math.Inf(-1)}}
+		}, "sweep value 0"},
+		{"values without axis", func(s *Scenario) {
+			s.Sweep = SweepSpec{Values: []float64{0.1}}
+		}, "no axis"},
+	}
+	for _, c := range cases {
+		s := NewScenario("valid")
+		c.mut(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v does not mention %q", c.name, err, c.want)
+		}
+	}
+}
