@@ -124,12 +124,33 @@ func BenchmarkIncrementalMeasure64(b *testing.B) {
 	}
 }
 
+// BenchmarkSINRSuccesses16Tx measures steady-state slot resolution —
+// the path sim.Run drives via interference.ResolveFunc: a reusable
+// resolver summing precomputed cross gains, zero allocations per slot.
 func BenchmarkSINRSuccesses16Tx(b *testing.B) {
+	m := benchSINRModel(b, 64)
+	resolve := interference.ResolveFunc(m)
+	tx := make([]int, 16)
+	for i := range tx {
+		tx[i] = i * 4
+	}
+	resolve(tx) // warm the resolver buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resolve(tx)
+	}
+}
+
+// BenchmarkSINRSuccessesAlloc16Tx measures the allocating Successes
+// entry point (fresh result slice per call, pooled counting scratch).
+func BenchmarkSINRSuccessesAlloc16Tx(b *testing.B) {
 	m := benchSINRModel(b, 64)
 	tx := make([]int, 16)
 	for i := range tx {
 		tx[i] = i * 4
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Successes(tx)

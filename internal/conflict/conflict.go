@@ -319,6 +319,10 @@ type Model struct {
 	rowsMu      sync.Mutex
 	rows        *interference.Sparse
 	rowsVersion int64 // cg.version the cache was built at
+
+	// scratch pools counting buffers for the Successes slow path; the
+	// model may be shared across goroutines, so scratch is per-call.
+	scratch sync.Pool
 }
 
 var (
@@ -351,6 +355,7 @@ func NewModel(cg *Graph, order []int) (*Model, error) {
 	// measure evaluations cost O(conflicts) instead of O(n²).
 	m.rows = interference.SparseFromWeights(cg.n, m.Weight)
 	m.rowsVersion = cg.version
+	m.scratch.New = func() any { return interference.NewResolverScratch(cg.n) }
 	return m, nil
 }
 
@@ -389,58 +394,49 @@ func (m *Model) Weight(e, e2 int) float64 {
 // ConflictGraph returns the underlying conflict graph.
 func (m *Model) ConflictGraph() *Graph { return m.cg }
 
-// Successes implements interference.Model.
+// Successes implements interference.Model. Counting scratch comes from
+// a pool, so the only allocation is the returned slice; hot loops
+// should use NewResolver, which reuses that too.
 func (m *Model) Successes(tx []int) []bool {
-	counts := make([]int, m.cg.n)
-	for _, e := range tx {
-		counts[e]++
+	out := make([]bool, len(tx))
+	if len(tx) == 0 {
+		return out
 	}
-	var uniq []int
-	for e, c := range counts {
-		if c > 0 {
-			uniq = append(uniq, e)
-		}
-	}
-	ok := make(map[int]bool, len(uniq))
-	for _, e := range uniq {
-		if counts[e] != 1 {
+	s := m.scratch.Get().(*interference.ResolverScratch)
+	s.Count(tx)
+	m.fillSuccesses(s, tx, out)
+	s.End(tx)
+	m.scratch.Put(s)
+	return out
+}
+
+// fillSuccesses resolves one counted slot into out: a transmission goes
+// through when its link is unique in the slot and no other transmitting
+// link conflicts with it.
+func (m *Model) fillSuccesses(s *interference.ResolverScratch, tx []int, out []bool) {
+	for i, e := range tx {
+		if s.Counts[e] != 1 {
 			continue
 		}
 		clear := true
-		for _, e2 := range uniq {
+		for _, e2 := range s.Uniq {
 			if e2 != e && m.cg.Conflicts(e, e2) {
 				clear = false
 				break
 			}
 		}
-		ok[e] = clear
+		out[i] = clear
 	}
-	out := make([]bool, len(tx))
-	for i, e := range tx {
-		out[i] = counts[e] == 1 && ok[e]
-	}
-	return out
 }
 
 // NewResolver implements interference.SlotResolver: identical slot
-// semantics to Successes with all buffers reused across calls.
+// semantics to Successes with all buffers reused across calls —
+// steady-state resolution performs no allocations.
 func (m *Model) NewResolver() func(tx []int) []bool {
 	s := interference.NewResolverScratch(m.cg.n)
 	return func(tx []int) []bool {
 		out := s.Begin(tx)
-		for i, e := range tx {
-			if s.Counts[e] != 1 {
-				continue
-			}
-			clear := true
-			for _, e2 := range s.Uniq {
-				if e2 != e && m.cg.Conflicts(e, e2) {
-					clear = false
-					break
-				}
-			}
-			out[i] = clear
-		}
+		m.fillSuccesses(s, tx, out)
 		s.End(tx)
 		return out
 	}

@@ -146,6 +146,7 @@ type pkt struct {
 	path          []int
 	hop           int
 	failed        bool
+	delivered     bool
 	failSlot      int64
 	activateFrame int64
 }
@@ -162,7 +163,12 @@ type Protocol struct {
 	mainAlg    static.Algorithm
 	cleanupAlg static.Algorithm
 
-	packets map[int64]*pkt
+	// live holds every undelivered packet in injection order (packet IDs
+	// are fresh per the Process contract, so injection order is ID order
+	// for the built-in processes). Delivered packets are compacted out —
+	// and their structs recycled — at the next main-phase start.
+	live     []*pkt
+	queueLen int
 	// failBuf[e] holds failed packets whose next hop is link e, ordered
 	// by failure time (oldest first).
 	failBuf [][]*pkt
@@ -171,10 +177,19 @@ type Protocol struct {
 
 	frame     int64
 	exec      static.Execution // current phase execution (nil when idle)
-	execByPkt map[int64]int    // packet ID → request index in exec
 	execPkts  []*pkt           // request index → packet
 	execHops  []int            // request index → hop at phase start
 	inCleanup bool
+	// mainExecCache and cleanupExecCache hold the previous phase
+	// executions for algorithms that support recycling (static.Recycler).
+	mainExecCache    static.Execution
+	cleanupExecCache static.Execution
+	// emitIDs and emitIdx record the packet ID and execution request
+	// index of each transmission the last Slot call emitted, in order;
+	// Feedback maps the simulator's (possibly filtered) outcome slice
+	// back to request indices by walking this record.
+	emitIDs []int64
+	emitIdx []int
 
 	// Counters for experiments and tests.
 	Failures         int64 // fail events (first failures only)
@@ -196,6 +211,21 @@ type Protocol struct {
 	// only ever read through execPkts, which buildExec repoints every
 	// phase before the scratch is reused.
 	memberScratch []*pkt
+	// reqScratch and hopScratch back the per-phase execution inputs,
+	// repointed by every buildExec before reuse; selScratch backs the
+	// clean-up selection.
+	reqScratch []static.Request
+	hopScratch []int
+	selScratch []*pkt
+
+	// interner shares one []int per distinct injected route, and pktFree
+	// recycles pkt structs: the steady-state packet lifecycle allocates
+	// nothing. Delivered packets stay on live (flagged) until the next
+	// main-phase start — stale execPkts entries may still point at them
+	// until buildExec repoints the execution — and only then join the
+	// free list for reuse by Inject.
+	interner *sim.PathInterner
+	pktFree  []*pkt
 }
 
 // FrameStat summarises one frame of protocol activity.
@@ -295,9 +325,9 @@ func New(cfg Config) (*Protocol, error) {
 		name:       fmt.Sprintf("dynamic(%s)", cfg.Alg.Name()),
 		mainAlg:    mainAlg,
 		cleanupAlg: cleanupAlg,
-		packets:    make(map[int64]*pkt),
 		failBuf:    make([][]*pkt, cfg.Model.NumLinks()),
 		rng:        rand.New(rand.NewSource(cfg.Seed ^ 0x6b43a9b5)),
+		interner:   sim.NewPathInterner(),
 	}, nil
 }
 
@@ -308,7 +338,7 @@ func (p *Protocol) Name() string { return p.name }
 func (p *Protocol) Sizing() Sizing { return p.sizing }
 
 // QueueLen returns the number of undelivered packets the protocol holds.
-func (p *Protocol) QueueLen() int { return len(p.packets) }
+func (p *Protocol) QueueLen() int { return p.queueLen }
 
 // FailedQueueLen returns the total size of the failure buffers.
 func (p *Protocol) FailedQueueLen() int {
@@ -335,19 +365,33 @@ func (p *Protocol) Potential() int {
 
 // Inject implements sim.Protocol. Under the adversarial wrapper each
 // packet draws its uniform initial delay here, at injection time.
+// Paths are interned (shared per distinct route, never mutated) and pkt
+// structs come from the free list, so steady-state injection performs
+// no allocations.
 func (p *Protocol) Inject(t int64, pkts []inject.Packet) {
 	frame := t / int64(p.sizing.T)
 	for _, ip := range pkts {
-		path := make([]int, len(ip.Path))
-		for i, e := range ip.Path {
-			path[i] = int(e)
-		}
-		st := &pkt{id: ip.ID, path: path, activateFrame: frame + 1}
+		st := p.allocPkt()
+		st.id, st.path = ip.ID, p.interner.Ints(ip.Path)
+		st.activateFrame = frame + 1
 		if p.sizing.DelayMax > 1 {
 			st.activateFrame += int64(p.rng.Intn(p.sizing.DelayMax))
 		}
-		p.packets[ip.ID] = st
+		p.live = append(p.live, st)
+		p.queueLen++
 	}
+}
+
+// allocPkt returns a zeroed pkt, recycled from the free list when one
+// is available.
+func (p *Protocol) allocPkt() *pkt {
+	if n := len(p.pktFree); n > 0 {
+		st := p.pktFree[n-1]
+		p.pktFree = p.pktFree[:n-1]
+		*st = pkt{}
+		return st
+	}
+	return &pkt{}
 }
 
 // Slot implements sim.Protocol.
@@ -374,39 +418,61 @@ func (p *Protocol) Slot(t int64, rng *rand.Rand) []sim.Transmission {
 		p.exec = nil // frame tail: idle
 	}
 	if p.exec == nil || p.exec.Done() {
+		p.emitIDs, p.emitIdx = p.emitIDs[:0], p.emitIdx[:0]
 		return nil
 	}
 	attempts := p.exec.Attempts(rng)
 	out := p.txScratch[:0]
+	ids := p.emitIDs[:0]
+	idxs := p.emitIdx[:0]
 	for _, idx := range attempts {
 		st := p.execPkts[idx]
 		out = append(out, sim.Transmission{Link: st.path[st.hop], PacketID: st.id})
+		ids = append(ids, st.id)
+		idxs = append(idxs, idx)
 	}
-	p.txScratch = out
+	p.txScratch, p.emitIDs, p.emitIdx = out, ids, idxs
 	return out
 }
 
 // startMainPhase builds the main-phase execution over all live,
-// activated, unfailed packets. Members are ordered by packet ID so runs
-// are deterministic under a fixed seed (map iteration order is not);
-// IDs are unique, so the sorted order is identical however the map
-// iterates.
+// activated, unfailed packets, ordered by packet ID so runs are
+// deterministic under a fixed seed. The live list is compacted in the
+// same pass: delivered packets drop out and their structs return to the
+// free list (no execution references them once buildExec repoints
+// below). Injection order already is ID order for processes that assign
+// fresh increasing IDs, so the sort usually reduces to a verification
+// scan.
 func (p *Protocol) startMainPhase(rng *rand.Rand) {
 	p.inCleanup = false
 	members := p.memberScratch[:0]
-	for _, st := range p.packets {
+	w := 0
+	for _, st := range p.live {
+		if st.delivered {
+			p.pktFree = append(p.pktFree, st)
+			continue
+		}
+		p.live[w] = st
+		w++
 		if !st.failed && st.activateFrame <= p.frame {
 			members = append(members, st)
 		}
 	}
+	clear(p.live[w:])
+	p.live = p.live[:w]
 	p.memberScratch = members
-	slices.SortFunc(members, func(a, b *pkt) int {
-		if a.id < b.id {
-			return -1
-		}
-		return 1
-	})
+	if !slices.IsSortedFunc(members, pktByID) {
+		slices.SortFunc(members, pktByID)
+	}
 	p.buildExec(members)
+}
+
+// pktByID orders packets by ID; IDs are unique, so it never returns 0.
+func pktByID(a, b *pkt) int {
+	if a.id < b.id {
+		return -1
+	}
+	return 1
 }
 
 // endMainPhase marks every unserved main-phase packet as failed and
@@ -415,14 +481,14 @@ func (p *Protocol) endMainPhase(t int64) {
 	if p.inCleanup || p.exec == nil {
 		return
 	}
-	for _, st := range p.execPkts {
+	for i, st := range p.execPkts {
 		if st == nil || st.failed {
 			continue
 		}
-		if _, live := p.packets[st.id]; !live {
+		if st.delivered {
 			continue // delivered during the phase
 		}
-		if idx, ok := p.execByPkt[st.id]; ok && p.execServed(idx) {
+		if p.execServed(i) {
 			continue
 		}
 		st.failed = true
@@ -452,7 +518,7 @@ func (p *Protocol) startCleanupPhase(rng *rand.Rand) {
 	if prob <= 0 {
 		prob = 1 / float64(p.cfg.M)
 	}
-	var selected []*pkt
+	selected := p.selScratch[:0]
 	for e := range p.failBuf {
 		if len(p.failBuf[e]) == 0 {
 			continue
@@ -461,6 +527,7 @@ func (p *Protocol) startCleanupPhase(rng *rand.Rand) {
 			selected = append(selected, p.failBuf[e][0]) // longest-failed first
 		}
 	}
+	p.selScratch = selected
 	if len(selected) > 0 {
 		p.buildExec(selected)
 	}
@@ -470,24 +537,33 @@ func (p *Protocol) buildExec(members []*pkt) {
 	if len(members) == 0 {
 		p.exec = nil
 		p.execPkts = nil
-		p.execByPkt = nil
 		p.execHops = nil
 		return
 	}
-	reqs := make([]static.Request, len(members))
-	p.execByPkt = make(map[int64]int, len(members))
-	p.execHops = make([]int, len(members))
-	for i, st := range members {
-		reqs[i] = static.Request{Link: st.path[st.hop], Tag: st.id}
-		p.execByPkt[st.id] = i
-		p.execHops[i] = st.hop
+	// The request and hop buffers are reused across phases: by the time
+	// buildExec runs, the previous phase's execution has been discarded.
+	reqs := p.reqScratch[:0]
+	hops := p.hopScratch[:0]
+	for _, st := range members {
+		reqs = append(reqs, static.Request{Link: st.path[st.hop], Tag: st.id})
+		hops = append(hops, st.hop)
 	}
+	p.reqScratch, p.hopScratch = reqs, hops
 	p.execPkts = members
-	alg := p.mainAlg
+	p.execHops = hops
+	alg, cache := p.mainAlg, &p.mainExecCache
 	if p.inCleanup {
-		alg = p.cleanupAlg
+		alg, cache = p.cleanupAlg, &p.cleanupExecCache
 	}
-	p.exec = alg.NewExecution(p.cfg.Model, reqs)
+	// Algorithms that support it rebuild into the previous same-phase
+	// execution's buffers (dead since the last buildExec of this phase
+	// kind); the recycled execution behaves identically to a fresh one.
+	if r, ok := alg.(static.Recycler); ok {
+		p.exec = r.RecycleExecution(*cache, p.cfg.Model, reqs)
+		*cache = p.exec
+	} else {
+		p.exec = alg.NewExecution(p.cfg.Model, reqs)
+	}
 }
 
 // pushFailed inserts st into the failure buffer of its pending link,
@@ -518,18 +594,27 @@ func (p *Protocol) removeFailed(e int, st *pkt) {
 	}
 }
 
-// Feedback implements sim.Protocol.
+// Feedback implements sim.Protocol. The simulator's tx slice is an
+// order-preserving subset of what Slot emitted (invalid requests are
+// dropped, never reordered), so the emission record maps each outcome
+// back to its execution request index with one forward walk — no
+// per-packet map.
 func (p *Protocol) Feedback(t int64, tx []sim.Transmission, success []bool) {
 	if p.exec == nil {
 		return
 	}
 	idxs := p.idxScratch[:0]
 	oks := p.okScratch[:0]
+	j := 0
 	for i, w := range tx {
-		idx, ok := p.execByPkt[w.PacketID]
-		if !ok {
-			continue
+		for j < len(p.emitIDs) && p.emitIDs[j] != w.PacketID {
+			j++
 		}
+		if j == len(p.emitIDs) {
+			break // not something this execution emitted
+		}
+		idx := p.emitIdx[j]
+		j++
 		idxs = append(idxs, idx)
 		oks = append(oks, success[i])
 		if !success[i] {
@@ -549,7 +634,10 @@ func (p *Protocol) Feedback(t int64, tx []sim.Transmission, success []bool) {
 			p.curFrame.MainServed++
 		}
 		if st.hop == len(st.path) {
-			delete(p.packets, st.id)
+			// The execution may still reference st until the next phase
+			// boundary; it stays on live (flagged) for recycling there.
+			st.delivered = true
+			p.queueLen--
 		}
 	}
 	p.idxScratch, p.okScratch = idxs, oks

@@ -67,7 +67,8 @@ type Pattern struct {
 	spent     float64 // total measure injected, for AchievedRate
 	windows   int64
 	pending   []Packet
-	windowTop int64 // first slot of the current window
+	stepBuf   []Packet // Step result buffer, reused across slots
+	windowTop int64    // first slot of the current window
 }
 
 var _ Adversary = (*Pattern)(nil)
@@ -156,7 +157,10 @@ func (p *Pattern) planWindow(t0 int64) {
 	p.windowTop = t0
 	p.windows++
 	budget := float64(p.w) * p.lambda
-	var packets []Packet
+	// Reuse the previous window's plan buffer: by the time a new window
+	// is planned every pending packet has been emitted (or is discarded
+	// with the plan, exactly as before).
+	packets := p.pending[:0]
 	if p.rotate {
 		// Concentrate the whole window on one path.
 		idx := int((p.windows - 1) % int64(len(p.paths)))
@@ -194,12 +198,13 @@ func (p *Pattern) planWindow(t0 int64) {
 	p.pending = packets
 }
 
-// Step implements Process.
+// Step implements Process. The result is written into a buffer reused
+// across slots (see the Process contract).
 func (p *Pattern) Step(t int64, rng *rand.Rand) []Packet {
 	if t%int64(p.w) == 0 {
 		p.planWindow(t)
 	}
-	var out []Packet
+	out := p.stepBuf[:0]
 	rest := p.pending[:0]
 	for _, pkt := range p.pending {
 		if pkt.Injected == t {
@@ -209,6 +214,7 @@ func (p *Pattern) Step(t int64, rng *rand.Rand) []Packet {
 		}
 	}
 	p.pending = rest
+	p.stepBuf = out
 	return out
 }
 

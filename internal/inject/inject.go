@@ -27,7 +27,10 @@ type Process interface {
 	// Name identifies the process in experiment output.
 	Name() string
 	// Step returns the packets injected at slot t. Implementations
-	// assign fresh packet IDs and stamp Injected = t.
+	// assign fresh packet IDs and stamp Injected = t. The returned slice
+	// is only valid until the next Step call — implementations may reuse
+	// it, so callers that keep packets across slots must copy them (the
+	// Path slices, by contrast, are stable and may be retained).
 	Step(t int64, rng *rand.Rand) []Packet
 	// Rate returns the nominal injection rate λ.
 	Rate() float64
@@ -81,6 +84,7 @@ type Stochastic struct {
 	gens   []Generator
 	rate   float64
 	nextID int64
+	buf    []Packet // Step result buffer, reused across slots
 }
 
 // NewStochastic builds the process and computes its exact injection
@@ -125,9 +129,10 @@ func (s *Stochastic) PacketRate() float64 {
 	return total
 }
 
-// Step implements Process.
+// Step implements Process. The result is written into a buffer reused
+// across slots (see the Process contract).
 func (s *Stochastic) Step(t int64, rng *rand.Rand) []Packet {
-	var out []Packet
+	out := s.buf[:0]
 	for _, g := range s.gens {
 		u := rng.Float64()
 		for _, c := range g.Choices {
@@ -139,6 +144,7 @@ func (s *Stochastic) Step(t int64, rng *rand.Rand) []Packet {
 			u -= c.P
 		}
 	}
+	s.buf = out
 	return out
 }
 

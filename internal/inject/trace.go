@@ -28,7 +28,11 @@ func Record(proc Process, slots int64, rng *rand.Rand) *Trace {
 	}
 	for s := int64(0); s < slots; s++ {
 		if pkts := proc.Step(s, rng); len(pkts) > 0 {
-			t.bySlot[s] = pkts
+			// Step results are only valid until the next call; the
+			// recording needs its own copy.
+			cp := make([]Packet, len(pkts))
+			copy(cp, pkts)
+			t.bySlot[s] = cp
 		}
 	}
 	return t

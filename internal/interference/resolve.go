@@ -52,6 +52,15 @@ func (s *ResolverScratch) Begin(tx []int) []bool {
 	for i := range s.out {
 		s.out[i] = false
 	}
+	s.Count(tx)
+	return s.out
+}
+
+// Count fills Counts and Uniq for tx without touching the result buffer
+// — for callers (such as a model's Successes slow path) that own their
+// output slice but still want the shared counting scratch. Pair with
+// End, exactly like Begin.
+func (s *ResolverScratch) Count(tx []int) {
 	s.Uniq = s.Uniq[:0]
 	for _, e := range tx {
 		if s.Counts[e] == 0 {
@@ -59,7 +68,6 @@ func (s *ResolverScratch) Begin(tx []int) []bool {
 		}
 		s.Counts[e]++
 	}
-	return s.out
 }
 
 // End re-zeroes the count entries touched by tx, in O(len(tx)) rather

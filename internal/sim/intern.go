@@ -1,0 +1,55 @@
+package sim
+
+import "dynsched/internal/netgraph"
+
+// PathInterner converts injection paths (netgraph.Path, []LinkID) into
+// the []int form the engine and protocols index with, sharing one
+// canonical slice per distinct route. Injection processes draw from a
+// small fixed set of paths, so after warm-up every conversion is a hash
+// probe with zero allocations — the per-packet path copy the engine
+// used to make is gone, and a million packets on the same route share
+// one backing array.
+//
+// Interned slices are shared: callers must treat them as immutable.
+// An interner is single-goroutine state (one per run), like the rest of
+// the engine's scratch.
+type PathInterner struct {
+	byHash map[uint64][][]int
+}
+
+// NewPathInterner returns an empty interner.
+func NewPathInterner() *PathInterner {
+	return &PathInterner{byHash: make(map[uint64][][]int)}
+}
+
+// Ints returns the canonical []int form of p, converting and caching it
+// on first sight. Hash collisions fall back to content comparison, so
+// distinct routes never alias.
+func (pi *PathInterner) Ints(p netgraph.Path) []int {
+	var h uint64 = 14695981039346656037 // FNV-1a over the link IDs
+	for _, e := range p {
+		h ^= uint64(e)
+		h *= 1099511628211
+	}
+	for _, cand := range pi.byHash[h] {
+		if len(cand) != len(p) {
+			continue
+		}
+		match := true
+		for i, e := range p {
+			if cand[i] != int(e) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return cand
+		}
+	}
+	cp := make([]int, len(p))
+	for i, e := range p {
+		cp[i] = int(e)
+	}
+	pi.byHash[h] = append(pi.byHash[h], cp)
+	return cp
+}

@@ -37,7 +37,10 @@ type Delivery struct {
 // replicated run gets a fresh observer per replication (see RunInput).
 type Observer interface {
 	// OnInject is called after the protocol received the slot's injected
-	// packets (only on slots that inject at least one).
+	// packets (only on slots that inject at least one). The pkts slice
+	// is only valid for the duration of the call — injection processes
+	// reuse it across slots (see inject.Process.Step); copy any packets
+	// you keep. The Path slices inside are stable and may be retained.
 	OnInject(t int64, pkts []inject.Packet)
 	// OnSlot is called at the end of every slot, after feedback.
 	OnSlot(t int64, v SlotView)

@@ -134,13 +134,6 @@ func (r *Result) Throughput() float64 {
 	return float64(r.Delivered) / float64(r.Slots)
 }
 
-// pktState is the simulator's ground truth for an in-flight packet.
-type pktState struct {
-	path     []int // remaining-agnostic: full path as link IDs
-	hop      int   // next hop index
-	injected int64
-}
-
 // cancelCheckMask throttles the per-slot context poll: the context is
 // consulted every 1024 slots, so cancellation lands within microseconds
 // of wall-clock while the hot loop stays branch-cheap.
@@ -194,7 +187,12 @@ func Run(ctx context.Context, cfg Config, model interference.Model, proc inject.
 	)
 	obs = append(obs, extra...)
 
-	inFlight := make(map[int64]*pktState)
+	// Packet ground truth lives in a free-list arena addressed by dense
+	// handles, with injected paths interned (shared per distinct route):
+	// the steady-state packet lifecycle — inject, transmit, deliver —
+	// performs no heap allocations.
+	arena := newPacketArena()
+	intern := NewPathInterner()
 	// Per-run slot resolver and link buffer: models that support it
 	// resolve slots allocation-free, and the link vector is reused.
 	resolve := interference.ResolveFunc(model)
@@ -202,7 +200,7 @@ func Run(ctx context.Context, cfg Config, model interference.Model, proc inject.
 
 	finish := func(executed int64) {
 		res.Slots = executed
-		res.InFlight = int64(len(inFlight))
+		res.InFlight = int64(arena.len())
 		for _, o := range obs {
 			o.OnEnd(res)
 		}
@@ -217,11 +215,7 @@ func Run(ctx context.Context, cfg Config, model interference.Model, proc inject.
 		// 1. Injection.
 		pkts := proc.Step(t, rng)
 		for _, p := range pkts {
-			path := make([]int, len(p.Path))
-			for i, e := range p.Path {
-				path[i] = int(e)
-			}
-			inFlight[p.ID] = &pktState{path: path, injected: t}
+			arena.insert(p.ID, intern.Ints(p.Path), t)
 		}
 		res.Injected += int64(len(pkts))
 		if len(pkts) > 0 {
@@ -235,8 +229,8 @@ func Run(ctx context.Context, cfg Config, model interference.Model, proc inject.
 		want := proto.Slot(t, rng)
 		tx := want[:0]
 		for _, w := range want {
-			st, ok := inFlight[w.PacketID]
-			if !ok || st.hop >= len(st.path) || st.path[st.hop] != w.Link {
+			st := arena.get(w.PacketID)
+			if st == nil || st.hop >= len(st.path) || st.path[st.hop] != w.Link {
 				res.ProtocolErrors++
 				continue
 			}
@@ -260,7 +254,7 @@ func Run(ctx context.Context, cfg Config, model interference.Model, proc inject.
 				continue
 			}
 			res.SuccessfulTx++
-			st := inFlight[w.PacketID]
+			st := arena.get(w.PacketID)
 			st.hop++
 			if st.hop == len(st.path) {
 				res.Delivered++
@@ -273,13 +267,13 @@ func Run(ctx context.Context, cfg Config, model interference.Model, proc inject.
 				for _, o := range obs {
 					o.OnDeliver(t, d)
 				}
-				delete(inFlight, w.PacketID)
+				arena.remove(w.PacketID)
 			}
 		}
 		proto.Feedback(t, tx, success)
 
 		// 5. End-of-slot observation (metrics sampling lives here).
-		view := SlotView{Tx: tx, Success: success, InFlight: len(inFlight)}
+		view := SlotView{Tx: tx, Success: success, InFlight: arena.len()}
 		for _, o := range obs {
 			o.OnSlot(t, view)
 		}

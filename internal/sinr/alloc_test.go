@@ -1,0 +1,79 @@
+package sinr
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynsched/internal/netgraph"
+	"dynsched/internal/testenv"
+)
+
+func allocTestFixedPower(t *testing.T, kind WeightKind) *FixedPower {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := netgraph.RandomPairs(rng, 64, 100, 1, 4)
+	prm := DefaultParams()
+	pk := PowerLinear
+	if kind == WeightMonotone {
+		pk = PowerUniform
+	}
+	powers, err := Powers(g, prm, pk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewFixedPower(g, prm, powers, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFixedPowerResolverZeroAllocs pins the fixed-power resolver's
+// zero-steady-state-allocation guarantee for both weight kinds: after
+// one warm-up slot, resolution performs no heap allocations (and, by
+// construction, no math.Pow calls — every interference term is a gain
+// table read).
+func TestFixedPowerResolverZeroAllocs(t *testing.T) {
+	testenv.SkipIfRace(t)
+	for _, kind := range []WeightKind{WeightAffectance, WeightMonotone} {
+		m := allocTestFixedPower(t, kind)
+		tx := []int{0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60}
+		resolve := m.NewResolver()
+		resolve(tx) // warm the reusable buffers
+		if got := testing.AllocsPerRun(200, func() { resolve(tx) }); got != 0 {
+			t.Errorf("%s resolver: %v allocs per slot, want 0", m.Name(), got)
+		}
+	}
+}
+
+// TestFixedPowerSuccessesSingleAlloc pins that the Successes slow path
+// allocates only its result slice (the ok map it used to build per call
+// is gone; counting scratch is pooled).
+func TestFixedPowerSuccessesSingleAlloc(t *testing.T) {
+	testenv.SkipIfRace(t)
+	m := allocTestFixedPower(t, WeightAffectance)
+	tx := []int{0, 4, 8, 12, 16, 20}
+	m.Successes(tx) // warm the pool
+	if got := testing.AllocsPerRun(200, func() { m.Successes(tx) }); got > 1 {
+		t.Errorf("Successes: %v allocs per call, want ≤ 1 (the result slice)", got)
+	}
+}
+
+// TestPowerControlResolverZeroAllocs pins the power-control resolver:
+// feasibility solving (gain system build, fixed-point iteration,
+// shedding) runs entirely on recycled scratch.
+func TestPowerControlResolverZeroAllocs(t *testing.T) {
+	testenv.SkipIfRace(t)
+	rng := rand.New(rand.NewSource(3))
+	g := netgraph.RandomPairs(rng, 32, 200, 1, 3)
+	m, err := NewPowerControl(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := []int{0, 4, 8, 12, 16, 20, 24, 28}
+	resolve := m.NewResolver()
+	resolve(tx) // warm the reusable buffers
+	if got := testing.AllocsPerRun(200, func() { resolve(tx) }); got != 0 {
+		t.Errorf("power-control resolver: %v allocs per slot, want 0", got)
+	}
+}

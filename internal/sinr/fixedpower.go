@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"dynsched/internal/interference"
 	"dynsched/internal/netgraph"
@@ -36,9 +37,19 @@ type FixedPower struct {
 	// Cached per-link quantities.
 	lens    []float64 // link lengths
 	signals []float64 // received signal strength p(ℓ)/d(ℓ)^α
-	w       [][]float64
-	rows    *interference.Sparse
-	name    string
+	// gain.at(e, e2) = p(e2)/d(s', r)^α — the interference power a
+	// transmission on e2 lands at e's receiver. Precomputed once so the
+	// per-slot SINR test is a flat table sum with no math.Pow calls;
+	// d(s', r) = 0 stores +Inf, exactly the value the division yields.
+	gain *crossTable
+	w    [][]float64
+	rows *interference.Sparse
+	name string
+
+	// scratch pools ResolverScratch values for the Successes slow path.
+	// The model may be shared across replication goroutines, so the
+	// scratch cannot live on the struct directly.
+	scratch sync.Pool
 }
 
 var (
@@ -49,6 +60,9 @@ var (
 
 // NewFixedPower builds a fixed-power SINR model. The graph must carry
 // node positions and powers must have one positive entry per link.
+// Construction precomputes the cross-gain table and both weight
+// matrices, fanning the O(n²) work across GOMAXPROCS goroutines; the
+// results are bit-identical to the serial per-pair evaluation.
 func NewFixedPower(g *netgraph.Graph, prm Params, powers []float64, kind WeightKind) (*FixedPower, error) {
 	if err := prm.Validate(); err != nil {
 		return nil, err
@@ -79,8 +93,15 @@ func NewFixedPower(g *netgraph.Graph, prm Params, powers []float64, kind WeightK
 		m.lens[i] = g.LinkDist(netgraph.LinkID(i))
 		m.signals[i] = p / math.Pow(m.lens[i], prm.Alpha)
 	}
+	m.gain = buildCrossTable(n, func(at, src int) float64 {
+		recv := g.Link(netgraph.LinkID(at)).To
+		d := g.NodeDist(g.Link(netgraph.LinkID(src)).From, recv)
+		// d == 0 divides to +Inf — the sentinel the SINR test expects.
+		return m.powers[src] / math.Pow(d, prm.Alpha)
+	})
 	m.buildWeights()
 	m.name = fmt.Sprintf("sinr-fixed(%s)", kindName(kind))
+	m.scratch.New = func() any { return interference.NewResolverScratch(n) }
 	return m, nil
 }
 
@@ -91,33 +112,51 @@ func kindName(k WeightKind) string {
 	return "monotone"
 }
 
+// affectanceFromGain is Affectance rewritten over a precomputed gain
+// entry: gain = p(ℓ)/d(s, r')^α and signal = p(ℓ')/d(ℓ')^α. A +Inf gain
+// covers both the d(s, r') = 0 branch of Affectance and an underflowed
+// path-loss power — in either case the original formula yields 1.
+func affectanceFromGain(gain, signal, betaNoise, beta float64) float64 {
+	if math.IsInf(gain, 1) {
+		return 1
+	}
+	margin := signal - betaNoise
+	if margin <= 0 {
+		return 1
+	}
+	return math.Min(1, beta*gain/margin)
+}
+
+// buildWeights derives the analysis matrix from the gain table — no
+// math.Pow calls remain — and extracts its CSR form, both parallelized
+// across rows. Entry for entry the result matches the Affectance-based
+// construction bit for bit (same operations on the same values).
 func (m *FixedPower) buildWeights() {
 	n := m.g.NumLinks()
 	m.w = make([][]float64, n)
-	for e := 0; e < n; e++ {
-		m.w[e] = make([]float64, n)
-	}
-	for e := 0; e < n; e++ {
+	betaNoise := m.prm.Beta * m.prm.Noise
+	interference.ParallelRows(n, func(e int) {
+		row := make([]float64, n)
 		for e2 := 0; e2 < n; e2++ {
 			if e == e2 {
-				m.w[e][e2] = 1
+				row[e2] = 1
 				continue
 			}
-			le, le2 := netgraph.LinkID(e), netgraph.LinkID(e2)
 			switch m.kind {
 			case WeightAffectance:
-				m.w[e][e2] = Affectance(m.g, m.prm, m.powers, le2, le)
+				row[e2] = affectanceFromGain(m.gain.at(e, e2), m.signals[e], betaNoise, m.prm.Beta)
 			case WeightMonotone:
 				// Interference is charged to the shorter link only.
 				if m.lens[e] <= m.lens[e2] {
-					a1 := Affectance(m.g, m.prm, m.powers, le, le2)
-					a2 := Affectance(m.g, m.prm, m.powers, le2, le)
-					m.w[e][e2] = math.Max(a1, a2)
+					a1 := affectanceFromGain(m.gain.at(e2, e), m.signals[e2], betaNoise, m.prm.Beta)
+					a2 := affectanceFromGain(m.gain.at(e, e2), m.signals[e], betaNoise, m.prm.Beta)
+					row[e2] = math.Max(a1, a2)
 				}
 			}
 		}
-	}
-	m.rows = interference.SparseFromWeights(n, func(e, e2 int) float64 { return m.w[e][e2] })
+		m.w[e] = row
+	})
+	m.rows = interference.SparseFromWeightsParallel(n, func(e, e2 int) float64 { return m.w[e][e2] })
 }
 
 // WeightRows implements interference.RowsProvider. For monotone
@@ -151,79 +190,75 @@ func (m *FixedPower) LinkLen(e int) float64 { return m.lens[e] }
 // transmission on ℓ succeeds when its link carries a single packet and
 //
 //	p(ℓ)/d(ℓ)^α ≥ β·(Σ_{ℓ'∈S, ℓ'≠ℓ} p(ℓ')/d(s', r)^α + ν).
+//
+// The interference sum reads the precomputed gain table; counting
+// scratch comes from a pool, so the only allocation is the returned
+// slice. Hot loops should use NewResolver, which reuses that too.
 func (m *FixedPower) Successes(tx []int) []bool {
 	out := make([]bool, len(tx))
 	if len(tx) == 0 {
 		return out
 	}
-	counts := make([]int, m.g.NumLinks())
-	for _, e := range tx {
-		counts[e]++
-	}
-	// Unique transmitting links, for the O(u²) interference sums.
-	uniq := make([]int, 0, len(tx))
-	for e, c := range counts {
-		if c > 0 {
-			uniq = append(uniq, e)
-		}
-	}
-	ok := make(map[int]bool, len(uniq))
-	for _, e := range uniq {
-		if counts[e] != 1 {
-			continue
-		}
-		interf := m.prm.Noise
-		recv := m.g.Link(netgraph.LinkID(e)).To
-		for _, e2 := range uniq {
-			if e2 == e {
-				continue
-			}
-			d := m.g.NodeDist(m.g.Link(netgraph.LinkID(e2)).From, recv)
-			if d == 0 {
-				interf = math.Inf(1)
-				break
-			}
-			interf += m.powers[e2] / math.Pow(d, m.prm.Alpha)
-		}
-		ok[e] = m.signals[e] >= m.prm.Beta*interf
-	}
-	for i, e := range tx {
-		out[i] = counts[e] == 1 && ok[e]
-	}
+	s := m.scratch.Get().(*interference.ResolverScratch)
+	s.Count(tx)
+	m.fillSuccesses(s, tx, out)
+	s.End(tx)
+	m.scratch.Put(s)
 	return out
 }
 
-// NewResolver implements interference.SlotResolver with the same exact
-// SINR test as Successes but buffers reused across slots: steady-state
-// resolution performs no allocations. Links are visited in the same
-// ascending order as Successes, so the floating-point interference sums
-// — and therefore the outcomes — are bit-identical.
-func (m *FixedPower) NewResolver() func(tx []int) []bool {
-	s := interference.NewResolverScratch(m.g.NumLinks())
-	return func(tx []int) []bool {
-		out := s.Begin(tx)
-		// Successes visits distinct links in ascending order; sorting the
-		// first-occurrence list reproduces its summation order exactly.
-		sort.Ints(s.Uniq)
-		for i, e := range tx {
-			if s.Counts[e] != 1 {
-				continue
+// fillSuccesses resolves one counted slot into out. Distinct links are
+// summed in ascending order — the historical Successes order — so the
+// floating-point interference sums, and therefore the outcomes, are
+// bit-identical across the Successes and NewResolver paths and across
+// dense and CSR table backings. A co-located interferer contributes a
+// +Inf gain; adding it yields the same +Inf sum the pre-table code
+// produced by short-circuiting (all terms are non-negative, so no NaN
+// can arise).
+func (m *FixedPower) fillSuccesses(s *interference.ResolverScratch, tx []int, out []bool) {
+	sort.Ints(s.Uniq)
+	for i, e := range tx {
+		if s.Counts[e] != 1 {
+			continue
+		}
+		interf := m.prm.Noise
+		if row := m.gain.denseRow(e); row != nil {
+			for _, e2 := range s.Uniq {
+				if e2 != e {
+					interf += row[e2]
+				}
 			}
-			interf := m.prm.Noise
-			recv := m.g.Link(netgraph.LinkID(e)).To
+		} else {
+			// CSR backing: merge-join the sorted uniq list with the row's
+			// ascending columns; absent entries are exact +0.0 terms, so
+			// skipping them leaves the sum bit-identical.
+			cols, vals := m.gain.csrRow(e)
+			k := 0
 			for _, e2 := range s.Uniq {
 				if e2 == e {
 					continue
 				}
-				d := m.g.NodeDist(m.g.Link(netgraph.LinkID(e2)).From, recv)
-				if d == 0 {
-					interf = math.Inf(1)
-					break
+				for k < len(cols) && int(cols[k]) < e2 {
+					k++
 				}
-				interf += m.powers[e2] / math.Pow(d, m.prm.Alpha)
+				if k < len(cols) && int(cols[k]) == e2 {
+					interf += vals[k]
+				}
 			}
-			out[i] = m.signals[e] >= m.prm.Beta*interf
 		}
+		out[i] = m.signals[e] >= m.prm.Beta*interf
+	}
+}
+
+// NewResolver implements interference.SlotResolver with the same exact
+// SINR test as Successes but every buffer reused across slots:
+// steady-state resolution performs no allocations and no math.Pow
+// calls — each interference term is one table read.
+func (m *FixedPower) NewResolver() func(tx []int) []bool {
+	s := interference.NewResolverScratch(m.g.NumLinks())
+	return func(tx []int) []bool {
+		out := s.Begin(tx)
+		m.fillSuccesses(s, tx, out)
 		s.End(tx)
 		return out
 	}

@@ -3,6 +3,8 @@ package sinr
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"dynsched/internal/interference"
 	"dynsched/internal/netgraph"
@@ -25,20 +27,50 @@ type PowerControl struct {
 	g    *netgraph.Graph
 	prm  Params
 	lens []float64
-	w    [][]float64
-	rows *interference.Sparse
+	// lenAlpha[e] = d(ℓ)^α, the per-link path-loss power.
+	lenAlpha []float64
+	// cross.at(e, e2) = d(s', r)^α for ℓ = e, ℓ' = e2: the α-th power of
+	// the cross distance from e2's sender to e's receiver, precomputed so
+	// the feasibility solver and the weight build never call math.Pow.
+	// A zero cross distance (co-located interferer) is stored as the -1
+	// sentinel, since Pow values are otherwise non-negative.
+	cross *crossTable
+	w     [][]float64
+	rows  *interference.Sparse
 
 	// maxIter and powerCap bound the fixed-point iteration.
 	maxIter  int
 	powerCap float64
+
+	// scratch pools pcScratch values so Successes and SolvePowers stay
+	// allocation-free in steady state even on a model shared across
+	// goroutines.
+	scratch sync.Pool
 }
 
 var (
 	_ interference.Model        = (*PowerControl)(nil)
 	_ interference.RowsProvider = (*PowerControl)(nil)
+	_ interference.SlotResolver = (*PowerControl)(nil)
 )
 
-// NewPowerControl builds a power-control SINR model on g.
+// pcScratch is the reusable buffer set of one feasibility computation:
+// slot counting, the candidate set, a per-link served mark, and the
+// flat k×k gain system of the fixed-point solver.
+type pcScratch struct {
+	rs     *interference.ResolverScratch
+	set    []int
+	served []bool
+	gain   []float64 // flat k×k
+	cross  []float64 // one gathered table row
+	noise  []float64
+	p      []float64
+	next   []float64
+}
+
+// NewPowerControl builds a power-control SINR model on g. The O(n²)
+// cross-distance table and weight matrix are precomputed in parallel;
+// the results are bit-identical to the serial per-pair evaluation.
 func NewPowerControl(g *netgraph.Graph, prm Params) (*PowerControl, error) {
 	if err := prm.Validate(); err != nil {
 		return nil, err
@@ -51,6 +83,7 @@ func NewPowerControl(g *netgraph.Graph, prm Params) (*PowerControl, error) {
 		g:        g,
 		prm:      prm,
 		lens:     make([]float64, n),
+		lenAlpha: make([]float64, n),
 		maxIter:  200,
 		powerCap: 1e18,
 	}
@@ -59,46 +92,63 @@ func NewPowerControl(g *netgraph.Graph, prm Params) (*PowerControl, error) {
 		if m.lens[i] <= 0 {
 			return nil, fmt.Errorf("sinr: link %d has non-positive length", i)
 		}
+		m.lenAlpha[i] = math.Pow(m.lens[i], prm.Alpha)
 	}
+	m.cross = buildCrossTable(n, func(at, src int) float64 {
+		d := g.SenderReceiverDist(netgraph.LinkID(src), netgraph.LinkID(at))
+		if d == 0 {
+			return -1 // sentinel: exact zero distance, not an underflowed power
+		}
+		return math.Pow(d, prm.Alpha)
+	})
 	m.buildWeights()
+	m.scratch.New = func() any {
+		return &pcScratch{
+			rs:     interference.NewResolverScratch(n),
+			set:    make([]int, 0, n),
+			served: make([]bool, n),
+		}
+	}
 	return m, nil
 }
 
+// buildWeights derives the distance-ratio matrix from the precomputed
+// tables — no math.Pow calls — fanned out across rows. Entry for entry
+// it matches the direct construction bit for bit.
 func (m *PowerControl) buildWeights() {
 	n := m.g.NumLinks()
 	m.w = make([][]float64, n)
-	alpha := m.prm.Alpha
-	for e := 0; e < n; e++ {
-		m.w[e] = make([]float64, n)
+	interference.ParallelRows(n, func(e int) {
+		row := make([]float64, n)
+		row[e] = 1
+		dOwn := m.lenAlpha[e]
 		for e2 := 0; e2 < n; e2++ {
 			if e == e2 {
-				m.w[e][e2] = 1
 				continue
 			}
 			if m.lens[e] > m.lens[e2] {
 				continue // charged to the shorter link only
 			}
-			le, le2 := netgraph.LinkID(e), netgraph.LinkID(e2)
-			dOwn := math.Pow(m.lens[e], alpha)
-			dToTheirRecv := m.g.SenderReceiverDist(le, le2)     // d(s, r')
-			dFromTheirSender := m.g.SenderReceiverDist(le2, le) // d(s', r)
+			// d(s, r')^α with ℓ = e, ℓ' = e2 is cross.at(e2, e); the -1
+			// sentinel marks an exactly-zero cross distance.
 			v := 0.0
-			if dToTheirRecv > 0 {
-				v += dOwn / math.Pow(dToTheirRecv, alpha)
+			if cp := m.cross.at(e2, e); cp >= 0 {
+				v += dOwn / cp
 			} else {
 				v = 1
 			}
-			if dFromTheirSender > 0 {
-				v += dOwn / math.Pow(dFromTheirSender, alpha)
+			if cp := m.cross.at(e, e2); cp >= 0 {
+				v += dOwn / cp
 			} else {
 				v = 1
 			}
-			m.w[e][e2] = math.Min(1, v)
+			row[e2] = math.Min(1, v)
 		}
-	}
+		m.w[e] = row
+	})
 	// The shorter-link-only charging rule zeroes roughly half the matrix;
 	// expose the CSR form for O(nnz) measure evaluation.
-	m.rows = interference.SparseFromWeights(n, func(e, e2 int) float64 { return m.w[e][e2] })
+	m.rows = interference.SparseFromWeightsParallel(n, func(e, e2 int) float64 { return m.w[e][e2] })
 }
 
 // WeightRows implements interference.RowsProvider.
@@ -116,9 +166,91 @@ func (m *PowerControl) Weight(e, e2 int) float64 { return m.w[e][e2] }
 // Graph returns the underlying communication graph.
 func (m *PowerControl) Graph() *netgraph.Graph { return m.g }
 
+// Params returns the physical constants.
+func (m *PowerControl) Params() Params { return m.prm }
+
 // LinkLen returns the length of link e (shortest-first ordering hook for
 // centralized schedulers).
 func (m *PowerControl) LinkLen(e int) float64 { return m.lens[e] }
+
+// solveInto runs the fixed-point iteration for set over the scratch
+// buffers. On success the minimal solution is left in sc.p (unscaled)
+// and the noise terms in sc.noise; the caller decides whether to copy
+// them out. No allocations occur once the scratch has grown to the
+// working set size.
+func (m *PowerControl) solveInto(sc *pcScratch, set []int) bool {
+	k := len(set)
+	if k == 0 {
+		return true
+	}
+	beta, nu := m.prm.Beta, m.prm.Noise
+	gain := growFloats(&sc.gain, k*k)
+	noiseTerm := growFloats(&sc.noise, k)
+	// gain[i*k+j]: normalized interference coupling from set[j]'s sender
+	// into set[i]'s receiver, scaled by set[i]'s own path loss — read
+	// straight from the precomputed tables (set is ascending, so a CSR
+	// backing gathers each row in one merge pass).
+	crossRow := growFloats(&sc.cross, k)
+	for i := 0; i < k; i++ {
+		lenA := m.lenAlpha[set[i]]
+		noiseTerm[i] = nu * lenA
+		row := gain[i*k : (i+1)*k]
+		m.cross.gather(set[i], set, crossRow)
+		for j := 0; j < k; j++ {
+			if i == j {
+				row[j] = 0
+				continue
+			}
+			cp := crossRow[j]
+			if cp < 0 {
+				return false // co-located interferer: unservable
+			}
+			row[j] = lenA / cp
+		}
+	}
+	// Fixed-point iteration for the minimal solution of
+	// p = β(gain·p + noiseTerm); diverges iff ρ(β·gain) ≥ 1.
+	p := growFloats(&sc.p, k)
+	next := growFloats(&sc.next, k)
+	for i := range p {
+		p[i] = 0
+	}
+	for it := 0; it < m.maxIter; it++ {
+		maxRel := 0.0
+		for i := 0; i < k; i++ {
+			s := noiseTerm[i]
+			row := gain[i*k : (i+1)*k]
+			for j := 0; j < k; j++ {
+				s += row[j] * p[j]
+			}
+			next[i] = beta * s
+			if next[i] > m.powerCap {
+				return false
+			}
+			den := math.Max(next[i], 1e-300)
+			rel := math.Abs(next[i]-p[i]) / den
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+		p, next = next, p
+		sc.p, sc.next = p, next
+		if maxRel < 1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+// growFloats resizes *buf to n entries, reallocating only when the
+// capacity is insufficient, and returns the resized slice.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
 
 // SolvePowers attempts to find a power vector under which every link in
 // set succeeds simultaneously. It returns the powers and true on
@@ -129,64 +261,52 @@ func (m *PowerControl) SolvePowers(set []int) ([]float64, bool) {
 	if k == 0 {
 		return nil, true
 	}
-	alpha, beta, nu := m.prm.Alpha, m.prm.Beta, m.prm.Noise
-	// gain[i][j]: normalized interference coupling from set[j]'s sender
-	// into set[i]'s receiver, scaled by set[i]'s own path loss.
-	gain := make([][]float64, k)
-	noiseTerm := make([]float64, k)
-	for i := 0; i < k; i++ {
-		gain[i] = make([]float64, k)
-		li := netgraph.LinkID(set[i])
-		noiseTerm[i] = nu * math.Pow(m.lens[set[i]], alpha)
-		recv := m.g.Link(li).To
-		for j := 0; j < k; j++ {
-			if i == j {
-				continue
-			}
-			d := m.g.NodeDist(m.g.Link(netgraph.LinkID(set[j])).From, recv)
-			if d == 0 {
-				return nil, false // co-located interferer: unservable
-			}
-			gain[i][j] = math.Pow(m.lens[set[i]], alpha) / math.Pow(d, alpha)
+	sc := m.scratch.Get().(*pcScratch)
+	ok := m.solveInto(sc, set)
+	if !ok {
+		m.scratch.Put(sc)
+		return nil, false
+	}
+	out := make([]float64, k)
+	copy(out, sc.p)
+	// Scale up marginally so the ≥ comparisons hold strictly
+	// despite floating-point rounding.
+	for i := range out {
+		out[i] *= 1 + 1e-9
+		if out[i] == 0 {
+			out[i] = m.prm.Beta * sc.noise[i] * (1 + 1e-9)
 		}
 	}
-	// Fixed-point iteration for the minimal solution of
-	// p = β(gain·p + noiseTerm); diverges iff ρ(β·gain) ≥ 1.
-	p := make([]float64, k)
-	next := make([]float64, k)
-	for it := 0; it < m.maxIter; it++ {
-		maxRel := 0.0
-		for i := 0; i < k; i++ {
-			s := noiseTerm[i]
-			for j := 0; j < k; j++ {
-				s += gain[i][j] * p[j]
-			}
-			next[i] = beta * s
-			if next[i] > m.powerCap {
-				return nil, false
-			}
-			den := math.Max(next[i], 1e-300)
-			rel := math.Abs(next[i]-p[i]) / den
-			if rel > maxRel {
-				maxRel = rel
-			}
-		}
-		p, next = next, p
-		if maxRel < 1e-9 {
-			out := make([]float64, k)
-			copy(out, p)
-			// Scale up marginally so the ≥ comparisons hold strictly
-			// despite floating-point rounding.
-			for i := range out {
-				out[i] *= 1 + 1e-9
-				if out[i] == 0 {
-					out[i] = beta * noiseTerm[i] * (1 + 1e-9)
-				}
-			}
-			return out, true
+	m.scratch.Put(sc)
+	return out, true
+}
+
+// fillSuccesses resolves one counted slot into out: build the ascending
+// set of singly-requested links, shed the most-interfered link until the
+// residual set admits a joint power vector, and mark the survivors.
+func (m *PowerControl) fillSuccesses(sc *pcScratch, tx []int, out []bool) {
+	sort.Ints(sc.rs.Uniq)
+	set := sc.set[:0]
+	for _, e := range sc.rs.Uniq {
+		if sc.rs.Counts[e] == 1 {
+			set = append(set, e)
 		}
 	}
-	return nil, false
+	for len(set) > 0 {
+		if m.solveInto(sc, set) {
+			break
+		}
+		set = m.shedWorst(set)
+	}
+	for _, e := range set {
+		sc.served[e] = true
+	}
+	for i, e := range tx {
+		out[i] = sc.rs.Counts[e] == 1 && sc.served[e]
+	}
+	for _, e := range set {
+		sc.served[e] = false
+	}
 }
 
 // Successes implements interference.Model. Duplicate attempts on a link
@@ -198,35 +318,32 @@ func (m *PowerControl) Successes(tx []int) []bool {
 	if len(tx) == 0 {
 		return out
 	}
-	counts := make([]int, m.g.NumLinks())
-	for _, e := range tx {
-		counts[e]++
-	}
-	var set []int
-	for e, c := range counts {
-		if c == 1 {
-			set = append(set, e)
-		}
-	}
-	served := make(map[int]bool, len(set))
-	for len(set) > 0 {
-		if _, ok := m.SolvePowers(set); ok {
-			for _, e := range set {
-				served[e] = true
-			}
-			break
-		}
-		set = m.shedWorst(set)
-	}
-	for i, e := range tx {
-		out[i] = counts[e] == 1 && served[e]
-	}
+	sc := m.scratch.Get().(*pcScratch)
+	sc.rs.Count(tx)
+	m.fillSuccesses(sc, tx, out)
+	sc.rs.End(tx)
+	m.scratch.Put(sc)
 	return out
+}
+
+// NewResolver implements interference.SlotResolver: identical slot
+// semantics to Successes — the feasibility computation is deterministic
+// — with every buffer reused across slots, so steady-state resolution
+// performs no allocations.
+func (m *PowerControl) NewResolver() func(tx []int) []bool {
+	sc := m.scratch.New().(*pcScratch)
+	return func(tx []int) []bool {
+		out := sc.rs.Begin(tx)
+		m.fillSuccesses(sc, tx, out)
+		sc.rs.End(tx)
+		return out
+	}
 }
 
 // shedWorst removes the link that suffers the largest summed weight from
 // the rest of the set — the one the analysis matrix identifies as most
-// interfered.
+// interfered. The removal is in place (order-preserving), so no
+// allocation occurs.
 func (m *PowerControl) shedWorst(set []int) []int {
 	worst, worstVal := 0, -1.0
 	for i, e := range set {
@@ -241,8 +358,6 @@ func (m *PowerControl) shedWorst(set []int) []int {
 			worst, worstVal = i, sum
 		}
 	}
-	out := make([]int, 0, len(set)-1)
-	out = append(out, set[:worst]...)
-	out = append(out, set[worst+1:]...)
-	return out
+	copy(set[worst:], set[worst+1:])
+	return set[:len(set)-1]
 }

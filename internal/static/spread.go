@@ -29,7 +29,10 @@ type Spread struct {
 	MeasureBound float64
 }
 
-var _ MeasureBounded = Spread{}
+var (
+	_ MeasureBounded = Spread{}
+	_ Recycler       = Spread{}
+)
 
 // WithMeasureBound implements MeasureBounded.
 func (s Spread) WithMeasureBound(meas float64) Algorithm {
@@ -79,6 +82,25 @@ func (s Spread) NewExecution(m interference.Model, reqs []Request) Execution {
 	return e
 }
 
+// RecycleExecution implements Recycler.
+func (s Spread) RecycleExecution(prev Execution, m interference.Model, reqs []Request) Execution {
+	e, ok := prev.(*spreadExec)
+	if !ok || e == nil {
+		return s.NewExecution(m, reqs)
+	}
+	meas := s.MeasureBound
+	if meas <= 0 {
+		meas = RequestMeasure(m, reqs)
+	}
+	e.model, e.reqs = m, reqs
+	e.pending.reset(m.NumLinks(), reqs)
+	e.c = s.slotsPerUnit()
+	e.roundMeas, e.roundLen, e.slot = meas, 0, 0
+	e.delays = resizeInts(e.delays, len(reqs))
+	e.inTail, e.tailP = false, 0
+	return e
+}
+
 type spreadExec struct {
 	model   interference.Model
 	reqs    []Request
@@ -91,6 +113,10 @@ type spreadExec struct {
 	delays    []int   // request index → chosen slot in current round
 	inTail    bool
 	tailP     float64
+
+	// out and perm are Attempts scratch, reused across slots.
+	out  []int
+	perm []int
 }
 
 func (e *spreadExec) Done() bool     { return e.pending.pending == 0 }
@@ -128,25 +154,25 @@ func (e *spreadExec) Attempts(rng *rand.Rand) []int {
 	if e.inTail {
 		return e.tailAttempts(rng)
 	}
-	var out []int
+	out := e.out[:0]
 	for link := range e.pending.byLink {
-		var onLink []int
+		onLink := 0
 		for _, idx := range e.pending.byLink[link] {
 			if e.delays[idx] == e.slot {
-				onLink = append(onLink, idx)
-				if len(onLink) == 2 {
+				out = append(out, idx)
+				if onLink++; onLink == 2 {
 					break // two are enough to register the collision
 				}
 			}
 		}
-		out = append(out, onLink...)
 	}
+	e.out = out
 	e.slot++
 	return out
 }
 
 func (e *spreadExec) tailAttempts(rng *rand.Rand) []int {
-	var out []int
+	out := e.out[:0]
 	for link := range e.pending.byLink {
 		r := e.pending.countOn(link)
 		if r == 0 {
@@ -159,8 +185,23 @@ func (e *spreadExec) tailAttempts(rng *rand.Rand) []int {
 		if k > 2 {
 			k = 2
 		}
-		out = append(out, e.pending.pickOn(rng, link, k)...)
+		slice := e.pending.byLink[link]
+		if k == 1 {
+			out = append(out, slice[rng.Intn(len(slice))])
+			continue
+		}
+		// k == 2: replicate rand.Perm(len(slice)) draw for draw into the
+		// scratch buffer (pickOn's selection, without its allocations).
+		perm := resizeInts(e.perm, len(slice))
+		e.perm = perm
+		for i := 0; i < len(slice); i++ {
+			j := rng.Intn(i + 1)
+			perm[i] = perm[j]
+			perm[j] = i
+		}
+		out = append(out, slice[perm[0]], slice[perm[1]])
 	}
+	e.out = out
 	return out
 }
 

@@ -58,6 +58,19 @@ type Algorithm interface {
 	Budget(numLinks int, meas float64, n int) int
 }
 
+// Recycler is an optional Algorithm extension for hot callers that
+// start executions at a steady cadence (the dynamic protocol starts two
+// per frame). RecycleExecution has the semantics of NewExecution, but
+// may rebuild into the buffers of prev — an execution previously
+// returned by the same algorithm that the caller no longer uses. The
+// returned execution behaves identically to a fresh one (same state,
+// same randomness consumption); only the allocations differ. A nil or
+// foreign prev falls back to a fresh execution.
+type Recycler interface {
+	Algorithm
+	RecycleExecution(prev Execution, m interference.Model, reqs []Request) Execution
+}
+
 // MeasureBounded is implemented by algorithms that can run against a
 // declared interference-measure bound instead of inspecting the request
 // set. This is the distributed-fidelity hook: the paper's dynamic
@@ -163,18 +176,40 @@ type pendingSet struct {
 }
 
 func newPendingSet(numLinks int, reqs []Request) *pendingSet {
-	p := &pendingSet{
-		byLink:  make([][]int, numLinks),
-		pos:     make([]int, len(reqs)),
-		links:   make([]int, len(reqs)),
-		pending: len(reqs),
+	p := &pendingSet{}
+	p.reset(numLinks, reqs)
+	return p
+}
+
+// reset rebuilds the set for a new request batch, reusing every buffer
+// that is large enough. The resulting state is identical to a freshly
+// constructed set.
+func (p *pendingSet) reset(numLinks int, reqs []Request) {
+	if cap(p.byLink) < numLinks {
+		p.byLink = make([][]int, numLinks)
+	} else {
+		p.byLink = p.byLink[:numLinks]
+		for i := range p.byLink {
+			p.byLink[i] = p.byLink[i][:0]
+		}
 	}
+	p.pos = resizeInts(p.pos, len(reqs))
+	p.links = resizeInts(p.links, len(reqs))
+	p.pending = len(reqs)
 	for i, q := range reqs {
 		p.links[i] = q.Link
 		p.pos[i] = len(p.byLink[q.Link])
 		p.byLink[q.Link] = append(p.byLink[q.Link], i)
 	}
-	return p
+}
+
+// resizeInts returns buf resized to n entries (contents unspecified),
+// reallocating only when the capacity is insufficient.
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 // remove marks request idx as served.

@@ -12,7 +12,10 @@ import (
 // multiple-access-channel baseline: schedule length exactly n.
 type Trivial struct{}
 
-var _ Algorithm = Trivial{}
+var (
+	_ Algorithm = Trivial{}
+	_ Recycler  = Trivial{}
+)
 
 // Name implements Algorithm.
 func (Trivial) Name() string { return "trivial" }
@@ -28,6 +31,24 @@ func (Trivial) Budget(numLinks int, meas float64, n int) int {
 // NewExecution implements Algorithm.
 func (Trivial) NewExecution(m interference.Model, reqs []Request) Execution {
 	return &trivialExec{n: len(reqs), served: make([]bool, len(reqs))}
+}
+
+// RecycleExecution implements Recycler.
+func (t Trivial) RecycleExecution(prev Execution, m interference.Model, reqs []Request) Execution {
+	e, ok := prev.(*trivialExec)
+	if !ok || e == nil {
+		return t.NewExecution(m, reqs)
+	}
+	if cap(e.served) < len(reqs) {
+		e.served = make([]bool, len(reqs))
+	} else {
+		e.served = e.served[:len(reqs)]
+		for i := range e.served {
+			e.served[i] = false
+		}
+	}
+	e.n, e.next, e.left, e.init = len(reqs), 0, 0, false
+	return e
 }
 
 type trivialExec struct {
@@ -86,7 +107,10 @@ func (e *trivialExec) Observe(attempted []int, success []bool) {
 // of Section 7.
 type FullParallel struct{}
 
-var _ Algorithm = FullParallel{}
+var (
+	_ Algorithm = FullParallel{}
+	_ Recycler  = FullParallel{}
+)
 
 // Name implements Algorithm.
 func (FullParallel) Name() string { return "full-parallel" }
@@ -103,6 +127,16 @@ func (FullParallel) Budget(numLinks int, meas float64, n int) int {
 // NewExecution implements Algorithm.
 func (FullParallel) NewExecution(m interference.Model, reqs []Request) Execution {
 	return &fullParallelExec{pending: newPendingSet(m.NumLinks(), reqs)}
+}
+
+// RecycleExecution implements Recycler.
+func (f FullParallel) RecycleExecution(prev Execution, m interference.Model, reqs []Request) Execution {
+	e, ok := prev.(*fullParallelExec)
+	if !ok || e == nil {
+		return f.NewExecution(m, reqs)
+	}
+	e.pending.reset(m.NumLinks(), reqs)
+	return e
 }
 
 type fullParallelExec struct {

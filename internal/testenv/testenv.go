@@ -1,0 +1,13 @@
+// Package testenv holds small helpers shared by the repo's tests.
+package testenv
+
+import "testing"
+
+// SkipIfRace skips allocation-count assertions under the race detector,
+// whose instrumentation perturbs the allocation behavior being pinned.
+func SkipIfRace(t *testing.T) {
+	t.Helper()
+	if RaceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+}

@@ -1,0 +1,67 @@
+package dynsched
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"dynsched/internal/testenv"
+)
+
+// simulateAllocs runs the quick-start workload for the given horizon
+// and returns the total heap allocations the run performed (GC off,
+// single goroutine, so the Mallocs delta is exact).
+func simulateAllocs(t *testing.T, slots int64) uint64 {
+	t.Helper()
+	g := LineNetwork(8, 1)
+	model := Identity{Links: g.NumLinks()}
+	path, _ := ShortestPath(g, 0, 7)
+	proc, err := StochasticAtRate(model, []Generator{
+		{Choices: []PathChoice{{Path: path, P: 0.4}}},
+	}, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewProtocol(ProtocolConfig{
+		Model: model, Alg: FullParallel{}, M: g.NumLinks(), Lambda: 0.4, Eps: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := Simulate(SimConfig{Slots: slots, Seed: 9}, model, proc, proto)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProtocolErrors != 0 {
+		t.Fatalf("protocol errors: %d", res.ProtocolErrors)
+	}
+	return after.Mallocs - before.Mallocs
+}
+
+// TestDynamicProtocolSteadyStateAllocs pins the zero-allocation packet
+// lifecycle end to end, construction excluded: comparing a short and a
+// long run of the same workload isolates the per-slot allocation rate
+// from the fixed start-up and warm-up costs that the
+// BenchmarkDynamicProtocolSlot baseline necessarily amortizes. In
+// steady state the engine (arena, interner), the injection process, and
+// the protocol (free list, recycled executions, emission record) must
+// allocate nothing per slot.
+func TestDynamicProtocolSteadyStateAllocs(t *testing.T) {
+	testenv.SkipIfRace(t)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const short, long = 4_000, 24_000
+	shortAllocs := simulateAllocs(t, short)
+	longAllocs := simulateAllocs(t, long)
+	extra := int64(longAllocs) - int64(shortAllocs)
+	perSlot := float64(extra) / float64(long-short)
+	// The tolerance absorbs rare amortized growth (a buffer crossing its
+	// high-water mark late); a single per-slot or per-packet allocation
+	// would show up as ≥ 0.4.
+	if perSlot > 0.02 {
+		t.Errorf("steady state allocates %.4f objects/slot (%d extra allocs over %d slots), want ~0",
+			perSlot, extra, long-short)
+	}
+}
