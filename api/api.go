@@ -31,21 +31,39 @@ func (s State) Terminal() bool {
 }
 
 // SubmitRequest is the POST /v1/jobs body. Exactly one of Name (a
-// registered scenario) and Scenario (an inline spec) must be set.
+// registered scenario) and Scenario (an inline spec) must be set. A
+// scenario with a sweep spec (single-axis or multi-axis grid) submits
+// an execution *plan*: the server decomposes it into per-unit
+// simulations, consults the result cache once per unit, and assembles
+// a PlanResult document. Reps > 1 likewise submits a replicate plan.
 type SubmitRequest struct {
 	Name     string             `json:"name,omitempty"`
 	Scenario *dynsched.Scenario `json:"scenario,omitempty"`
-	// Slots and Seed, when non-zero, override the scenario before it is
+	// Slots and Seed, when present, override the scenario before it is
 	// hashed and run — so `{"name":"sinr-stochastic","slots":2000}` is a
 	// distinct cacheable experiment from the full-length one.
-	Slots int64 `json:"slots,omitempty"`
-	Seed  int64 `json:"seed,omitempty"`
-	// NoCache forces a fresh simulation even when the result cache
-	// holds this spec.
+	//
+	// Compatibility note: these were plain int64 fields through PR 4,
+	// which made the zero value a "not set" sentinel — an explicit
+	// `"seed":0` (a legitimate seed) or `"slots":0` (a legitimate
+	// validation probe) was silently indistinguishable from absence.
+	// They are pointers now so absence (null/omitted) and zero are
+	// distinct; the JSON wire format of every previously expressible
+	// request is unchanged.
+	Slots *int64 `json:"slots,omitempty"`
+	Seed  *int64 `json:"seed,omitempty"`
+	// Reps, when > 1, runs the scenario as a replicate plan of that many
+	// derived-seed replications (0 and 1 mean a single run).
+	Reps int `json:"reps,omitempty"`
+	// NoCache forces fresh simulations even when the result cache holds
+	// this spec (for plans: every unit runs, nothing is looked up).
 	NoCache bool `json:"noCache,omitempty"`
 }
 
-// JobView is the API representation of a job.
+// JobView is the API representation of a job. For plan jobs (sweep,
+// grid, replicate) Hash is the plan-level content address and the
+// units* counters report per-unit progress; single-run jobs keep the
+// scenario hash and omit the counters.
 type JobView struct {
 	ID       string `json:"id"`
 	Hash     string `json:"hash"`
@@ -53,9 +71,17 @@ type JobView struct {
 	State    State  `json:"state"`
 	Cached   bool   `json:"cached"`
 	Error    string `json:"error,omitempty"`
-	// Result holds the run's marshaled SimResult once the job is done.
-	// It is the exact byte sequence the result cache stores, so two
-	// submissions of one spec observe bit-identical documents.
+	// UnitsTotal/UnitsDone/UnitsCached report a plan job's unit
+	// progress: how many units the plan decomposed into, how many have
+	// completed, and how many of those were served from the per-unit
+	// result cache without simulating.
+	UnitsTotal  int `json:"unitsTotal,omitempty"`
+	UnitsDone   int `json:"unitsDone,omitempty"`
+	UnitsCached int `json:"unitsCached,omitempty"`
+	// Result holds the run's marshaled SimResult (single runs) or
+	// PlanResult (plan jobs) once the job is done. It is the exact byte
+	// sequence the result cache stores, so two submissions of one spec
+	// observe bit-identical documents.
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
@@ -66,12 +92,36 @@ type JobView struct {
 type Event struct {
 	Seq  int    `json:"seq"`
 	Job  string `json:"job"`
-	Type string `json:"type"` // queued, started, progress, done, failed, cancelled
+	Type string `json:"type"` // queued, started, progress, unit, done, failed, cancelled
 	// Cached marks a done event served from the result cache.
 	Cached bool `json:"cached,omitempty"`
 	// Progress carries the live snapshot of progress events.
 	Progress *dynsched.SimProgress `json:"progress,omitempty"`
-	Error    string                `json:"error,omitempty"`
+	// Unit carries the completion record of "unit" events (plan jobs).
+	Unit  *UnitEvent `json:"unit,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+// UnitEvent is the payload of a plan job's per-unit completion events:
+// which unit finished (its index, content address and resolved sweep
+// coordinates) and the plan's progress counters after it. Events are
+// published serialized with strictly increasing UnitsDone — one event
+// per unit for plans up to 512 units, a thinned stream (plus the final
+// completion) beyond that, so a huge grid cannot grow the retained
+// event log without bound. The job view's counters always reflect
+// every unit.
+type UnitEvent struct {
+	Index int    `json:"index"`
+	Hash  string `json:"hash"`
+	// Coords are the unit's resolved sweep coordinates (sweep and grid
+	// plans; replicate units are identified by Index, their replication
+	// number).
+	Coords []dynsched.AxisValue `json:"coords,omitempty"`
+	// Cached marks a unit served from the per-unit result cache.
+	Cached      bool `json:"cached,omitempty"`
+	UnitsDone   int  `json:"unitsDone"`
+	UnitsCached int  `json:"unitsCached,omitempty"`
+	UnitsTotal  int  `json:"unitsTotal"`
 }
 
 // ScenarioInfo is one GET /v1/scenarios entry.

@@ -248,3 +248,34 @@ func BenchmarkDynamicProtocolSlot(b *testing.B) {
 		b.Fatal("protocol errors")
 	}
 }
+
+// BenchmarkPlanSweep64 pushes a 64-unit sweep plan through the
+// execution planner's worker pool: per-unit decomposition, hashing,
+// compilation and 64 short line simulations. It is the planner-layer
+// throughput guard — a scheduling or per-unit-overhead regression
+// shows up here before it shows up in wall-clock sweeps.
+func BenchmarkPlanSweep64(b *testing.B) {
+	sc := NewScenario("bench-plan-sweep",
+		WithModel("identity"), WithTopology("line"), WithNodes(6), WithHops(5),
+		WithAlgorithm("full-parallel"), WithSlots(500), WithSeed(1))
+	values := make([]float64, 64)
+	for i := range values {
+		values[i] = 0.1 + 0.005*float64(i)
+	}
+	sc.Sweep = SweepSpec{Axis: "lambda", Values: values}
+	p, err := sc.Plan(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr, err := p.Execute(context.Background(), ExecOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pr.UnitsDone != 64 {
+			b.Fatalf("plan completed %d of 64 units", pr.UnitsDone)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"dynsched/internal/interference"
 	"dynsched/internal/netgraph"
+	"dynsched/internal/sim"
 	"dynsched/internal/sinr"
 )
 
@@ -210,6 +211,127 @@ func preTable(m Model) Model {
 		return &interference.Lossy{Inner: preTable(v.Inner), P: v.P, Rand: v.Rand}
 	default:
 		return preTableModel{m}
+	}
+}
+
+// ---- Planner bit-identity (PR 5) ----
+//
+// The unified execution planner rewired Scenario.Run, Replicate and
+// RunSweep into plan decomposition + pooled unit execution. These
+// property tests pin the refactor's headline guarantee over every
+// registered scenario: the full Result JSON of each entry point is
+// byte-identical to what the pre-planner code paths produce.
+
+// prePlannerRun is the pre-planner Scenario.Run: compile, then drive
+// the engine directly.
+func prePlannerRun(s Scenario) (*SimResult, error) {
+	c, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(context.Background())
+}
+
+// prePlannerReplicate is the pre-planner Scenario.Replicate: the
+// sim.Replicate worker pool over a per-replication build closure.
+func prePlannerReplicate(s Scenario, reps int) (*ReplicateResult, error) {
+	return sim.Replicate(context.Background(), s.simConfig(), reps, func(rep int, seed int64) (sim.RunInput, error) {
+		sc := s
+		sc.Sim.Seed = seed
+		c, err := sc.Compile()
+		if err != nil {
+			return sim.RunInput{}, err
+		}
+		return sim.RunInput{Model: c.Model, Process: c.Process, Protocol: c.Protocol, Observers: c.Observers}, nil
+	})
+}
+
+// prePlannerSweep is the pre-planner Scenario.RunSweep: a strictly
+// serial loop applying each value to the axis.
+func prePlannerSweep(s Scenario) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(s.Sweep.Values))
+	for _, v := range s.Sweep.Values {
+		sc := s
+		sc.Sweep = SweepSpec{}
+		switch s.Sweep.Axis {
+		case "lambda":
+			sc.Traffic.Lambda = v
+		case "eps":
+			sc.Protocol.Eps = v
+		case "loss":
+			sc.Model.Loss = v
+		}
+		res, err := prePlannerRun(sc)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, SweepPoint{Axis: s.Sweep.Axis, Value: v, Result: res})
+	}
+	return out, nil
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestScenariosBitIdenticalToPrePlannerPaths runs every registered
+// scenario through the planner-backed Run/Replicate/RunSweep and
+// through the pre-planner reference implementations, requiring
+// byte-identical full-Result JSON for each.
+func TestScenariosBitIdenticalToPrePlannerPaths(t *testing.T) {
+	const quickSlots = 3000
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			s.Sim.Slots = quickSlots
+
+			got, err := s.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := prePlannerRun(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := mustJSON(t, got), mustJSON(t, want); !bytes.Equal(a, b) {
+				t.Errorf("Run diverged from pre-planner path\nplanner: %s\nref:     %s", a, b)
+			}
+
+			const reps = 3
+			gotRep, err := s.Replicate(context.Background(), reps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRep, err := prePlannerReplicate(s, reps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := mustJSON(t, gotRep), mustJSON(t, wantRep); !bytes.Equal(a, b) {
+				t.Errorf("Replicate diverged from pre-planner path\nplanner: %s\nref:     %s", a, b)
+			}
+
+			// Sweep the scenario's own injection rate: two points around
+			// the registered λ exercise distinct resolved units.
+			sw := s
+			sw.Sweep = SweepSpec{Axis: "lambda", Values: []float64{s.Traffic.Lambda, s.Traffic.Lambda / 2}}
+			gotPts, err := sw.RunSweep(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantPts, err := prePlannerSweep(sw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := mustJSON(t, gotPts), mustJSON(t, wantPts); !bytes.Equal(a, b) {
+				t.Errorf("RunSweep diverged from pre-planner path\nplanner: %s\nref:     %s", a, b)
+			}
+		})
 	}
 }
 

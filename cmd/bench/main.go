@@ -38,7 +38,7 @@ const microBenches = "^(BenchmarkMeasure64Links|BenchmarkMeasure64LinksDense|" +
 	"BenchmarkIncrementalMeasure64|BenchmarkSINRSuccesses16Tx|" +
 	"BenchmarkSINRSuccessesAlloc16Tx|BenchmarkAffectanceMatrixBuild64|" +
 	"BenchmarkStaticDecay|BenchmarkStaticSpread|BenchmarkPowerControlSolve8|" +
-	"BenchmarkDynamicProtocolSlot)$"
+	"BenchmarkDynamicProtocolSlot|BenchmarkPlanSweep64)$"
 
 // Entry is one benchmark's measurement.
 type Entry struct {

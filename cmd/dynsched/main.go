@@ -10,6 +10,14 @@
 // are bit-identical for every N. Ctrl-C cancels the run and prints the
 // partial result.
 //
+// Sweeps run through the execution planner: a scenario with a sweep
+// spec (from -spec, a registered scenario, or the -sweep flag) is
+// decomposed into one unit per value — or per cross-product point for
+// multi-axis grids — and the units run on the -parallel pool, with
+// per-unit completion streamed to stderr. -sweep takes
+// "axis=v1,v2,..." clauses separated by ";", e.g.
+// "lambda=0.1,0.2;eps=0.25,0.5" for a 2×2 grid over lambda and eps.
+//
 // Examples:
 //
 //	dynsched -scenario sinr-stochastic
@@ -17,6 +25,8 @@
 //	dynsched -model identity -topology line -nodes 8 -hops 6 -lambda 0.4
 //	dynsched -model sinr-uniform -links 16 -lambda 0.03 -adversary burst -window 64
 //	dynsched -model sinr-linear -links 32 -lambda 0.06 -reps 16 -parallel 8
+//	dynsched -scenario line-stochastic -slots 20000 -sweep "lambda=0.1,0.2,0.3,0.4"
+//	dynsched -scenario line-stochastic -sweep "lambda=0.2,0.4;eps=0.25,0.5" -json
 //	dynsched -spec myscenario.json -queue-csv queue.csv
 package main
 
@@ -27,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"dynsched"
 	"dynsched/internal/cli"
@@ -58,6 +70,7 @@ func main() {
 	flag.BoolVar(&listScenarios, "list-scenarios", false, "list registered scenarios and exit")
 	flag.BoolVar(&asJSON, "json", false, "emit the result as JSON instead of the text report")
 	spec := flag.String("spec", "", "JSON scenario document; overrides flag-composed workloads")
+	sweep := flag.String("sweep", "", `sweep axes as "axis=v1,v2,...[;axis=...]" (lambda, eps, loss, slots); multiple axes form a grid`)
 	flag.Parse()
 
 	if listScenarios {
@@ -72,23 +85,123 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dynsched:", err)
 		os.Exit(1)
 	}
+	if *sweep != "" {
+		sw, err := parseSweepFlag(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynsched:", err)
+			os.Exit(2)
+		}
+		sc.Sweep = sw
+	}
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
-	if reps > 1 {
+	switch {
+	case len(sc.Sweep.Axes) > 0 || sc.Sweep.Axis != "":
+		if reps > 1 || queueCSV != "" {
+			fmt.Fprintln(os.Stderr, "dynsched: a sweep cannot be combined with -reps or -queue-csv")
+			os.Exit(2)
+		}
+		err = runSweep(ctx, sc, asJSON)
+	case reps > 1:
 		if queueCSV != "" {
 			fmt.Fprintln(os.Stderr, "dynsched: -queue-csv records a single run's series; it cannot be combined with -reps")
 			os.Exit(2)
 		}
 		err = runReplicated(ctx, sc, reps, asJSON)
-	} else {
+	default:
 		err = run(ctx, sc, queueCSV, asJSON)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynsched:", err)
 		os.Exit(1)
 	}
+}
+
+// parseSweepFlag parses the -sweep grammar: semicolon-separated
+// "axis=v1,v2,..." clauses. A single clause is the legacy 1-D sweep;
+// several form a grid.
+func parseSweepFlag(s string) (dynsched.SweepSpec, error) {
+	var axes []dynsched.SweepAxis
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		axis, list, ok := strings.Cut(clause, "=")
+		if !ok {
+			return dynsched.SweepSpec{}, fmt.Errorf("-sweep clause %q is not axis=v1,v2,...", clause)
+		}
+		var values []float64
+		for _, f := range strings.Split(list, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return dynsched.SweepSpec{}, fmt.Errorf("-sweep value %q on axis %q: %v", f, axis, err)
+			}
+			values = append(values, v)
+		}
+		axes = append(axes, dynsched.SweepAxis{Axis: strings.TrimSpace(axis), Values: values})
+	}
+	if len(axes) == 0 {
+		return dynsched.SweepSpec{}, fmt.Errorf("-sweep %q declares no axes", s)
+	}
+	if len(axes) == 1 {
+		return dynsched.SweepSpec{Axis: axes[0].Axis, Values: axes[0].Values}, nil
+	}
+	return dynsched.SweepSpec{Axes: axes}, nil
+}
+
+// runSweep decomposes the sweep into its execution plan, streams
+// per-unit completion to stderr, and prints the point table (or the
+// full PlanResult document with -json). Cancellation reports the
+// completed points as a partial result.
+func runSweep(ctx context.Context, sc dynsched.Scenario, asJSON bool) error {
+	p, err := sc.Plan(1)
+	if err != nil {
+		return err
+	}
+	pr, runErr := p.Execute(ctx, dynsched.ExecOptions{
+		OnUnit: func(u dynsched.PlanUnit, cached bool, err error, prog dynsched.PlanProgress) {
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "dynsched: unit %d/%d done (%s)\n", prog.Done, prog.Total, u.Label())
+		},
+	})
+	if runErr != nil && pr.UnitsDone == 0 {
+		return runErr
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "dynsched: %v — reporting the partial result\n", runErr)
+	}
+	if asJSON {
+		if err := printJSON(pr); err != nil {
+			return err
+		}
+		return runErr
+	}
+	fmt.Printf("scenario:    %s\n", sc.Name)
+	fmt.Printf("plan:        %s, %d units (%d completed), hash %s\n", pr.Kind, pr.UnitsTotal, pr.UnitsDone, pr.Hash[:12])
+	fmt.Printf("%-28s  %10s  %10s  %10s  %10s  %s\n", "unit", "injected", "delivered", "mean queue", "mean lat", "verdict")
+	for _, pt := range pr.Points {
+		label := fmt.Sprintf("%s=%v", pt.Axis, pt.Value)
+		if len(pt.Coords) > 0 {
+			parts := make([]string, len(pt.Coords))
+			for i, c := range pt.Coords {
+				parts[i] = fmt.Sprintf("%s=%v", c.Axis, c.Value)
+			}
+			label = strings.Join(parts, ",")
+		}
+		verdict := "stable"
+		if !pt.Result.Verdict.Stable {
+			verdict = "UNSTABLE"
+		}
+		fmt.Printf("%-28s  %10d  %10d  %10.1f  %10.1f  %s\n",
+			label, pt.Result.Injected, pt.Result.Delivered,
+			pt.Result.Queue.MeanV(), pt.Result.Latency.Mean(), verdict)
+	}
+	return runErr
 }
 
 // resolveScenario builds the scenario to run: a registered one by name,

@@ -48,6 +48,7 @@ func main() {
 		QueueDepth:    so.QueueDepth,
 		CacheEntries:  so.CacheEntries,
 		CacheDir:      so.CacheDir,
+		CacheDiskMax:  so.CacheDiskMax,
 		ProgressEvery: so.ProgressEvery,
 	})
 	srv.Start(ctx)

@@ -10,6 +10,10 @@
 //
 // Submitting the same spec twice demonstrates the content-addressed
 // cache: the second run reports cached=true and returns instantly.
+// A second phase submits a 2×2 grid sweep as an execution plan: the
+// daemon decomposes it into per-unit simulations, streams "unit"
+// completion events, and on resubmission serves every unit from the
+// per-unit cache (unitsCached == unitsTotal, zero simulations).
 package main
 
 import (
@@ -61,6 +65,50 @@ func run(addr string) error {
 			return err
 		}
 	}
+	return runSweepDemo(addr)
+}
+
+// runSweepDemo submits a grid-sweep plan twice: the first submission
+// simulates every unit (streaming per-unit completions), the second is
+// served entirely from the cache.
+func runSweepDemo(addr string) error {
+	sc := dynsched.NewScenario("client-demo-sweep",
+		dynsched.WithDescription("grid-sweep plan example"),
+		dynsched.WithModel("identity"),
+		dynsched.WithTopology("line"),
+		dynsched.WithNodes(6), dynsched.WithHops(5),
+		dynsched.WithAlgorithm("full-parallel"),
+		dynsched.WithSlots(10_000), dynsched.WithSeed(42),
+		dynsched.WithSweepAxes(
+			dynsched.SweepAxis{Axis: "lambda", Values: []float64{0.2, 0.4}},
+			dynsched.SweepAxis{Axis: "eps", Values: []float64{0.25, 0.5}},
+		),
+	)
+	for attempt := 1; attempt <= 2; attempt++ {
+		job, err := submit(addr, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sweep submission %d: job %s cached=%v units=%d/%d (%d from cache)\n",
+			attempt, job.ID, job.Cached, job.UnitsDone, job.UnitsTotal, job.UnitsCached)
+		if !job.Cached {
+			if err := follow(addr, job.ID); err != nil {
+				return err
+			}
+		}
+		final, err := fetch(addr, job.ID)
+		if err != nil {
+			return err
+		}
+		var pr dynsched.PlanResult
+		if err := json.Unmarshal(final.Result, &pr); err != nil {
+			return err
+		}
+		for _, pt := range pr.Points {
+			fmt.Printf("  point %v: injected=%d mean-latency=%.1f\n",
+				pt.Coords, pt.Result.Injected, pt.Result.Latency.Mean())
+		}
+	}
 	return nil
 }
 
@@ -103,6 +151,9 @@ func follow(addr, id string) error {
 			fmt.Printf("  %6d/%d slots  injected=%d delivered=%d in-flight=%d mean-latency=%.1f\n",
 				e.Progress.Slots, e.Progress.TotalSlots, e.Progress.Injected,
 				e.Progress.Delivered, e.Progress.InFlight, e.Progress.Latency.Mean)
+		case "unit":
+			fmt.Printf("  unit %d/%d done  coords=%v cached=%v\n",
+				e.Unit.UnitsDone, e.Unit.UnitsTotal, e.Unit.Coords, e.Unit.Cached)
 		default:
 			fmt.Printf("  event: %s\n", e.Type)
 		}
@@ -110,19 +161,28 @@ func follow(addr, id string) error {
 	return scanner.Err()
 }
 
-// report fetches the finished job and prints the headline metrics.
-func report(addr, id string) error {
+// fetch retrieves a finished job's view, result included.
+func fetch(addr, id string) (*api.JobView, error) {
 	resp, err := http.Get(addr + "/v1/jobs/" + id)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	var job api.JobView
 	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
-		return err
+		return nil, err
 	}
 	if job.State != api.StateDone {
-		return fmt.Errorf("job %s ended %s: %s", id, job.State, job.Error)
+		return nil, fmt.Errorf("job %s ended %s: %s", id, job.State, job.Error)
+	}
+	return &job, nil
+}
+
+// report fetches the finished job and prints the headline metrics.
+func report(addr, id string) error {
+	job, err := fetch(addr, id)
+	if err != nil {
+		return err
 	}
 	var res dynsched.SimResult
 	if err := json.Unmarshal(job.Result, &res); err != nil {

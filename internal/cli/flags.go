@@ -39,6 +39,7 @@ type ServerOptions struct {
 	QueueDepth    int
 	CacheEntries  int
 	CacheDir      string
+	CacheDiskMax  int
 	ProgressEvery int64
 }
 
@@ -50,6 +51,7 @@ func RegisterServerFlags(fs *flag.FlagSet, o *ServerOptions) {
 	fs.IntVar(&o.QueueDepth, "queue", o.QueueDepth, "bounded job queue depth; submissions beyond it get 503")
 	fs.IntVar(&o.CacheEntries, "cache", o.CacheEntries, "in-memory result cache entries (0 = default 256)")
 	fs.StringVar(&o.CacheDir, "cache-dir", o.CacheDir, "spill cached results to this directory (empty = memory only)")
+	fs.IntVar(&o.CacheDiskMax, "cache-disk-max", o.CacheDiskMax, "bound the spill directory to this many entries, evicting oldest first (0 = unbounded)")
 	fs.Int64Var(&o.ProgressEvery, "progress-every", o.ProgressEvery, "progress event period in slots (0 = run length / 20)")
 }
 

@@ -4,38 +4,63 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 )
 
-// Cache is the content-addressed result store: marshaled sim.Result
-// documents keyed by the canonical Scenario.Hash. Entries live in
-// memory up to a bounded count with FIFO eviction; with a spill
-// directory configured, every entry is also written to disk
-// (<dir>/<hash>.json) and evicted or restarted-over entries are
-// re-served from there. Because simulations are deterministic in their
-// spec (seed included), a cached document is bit-identical to what a
-// fresh run of the same spec would produce.
+// Cache is the content-addressed result store: marshaled result
+// documents (sim.Result for single runs and per-plan units,
+// dynsched.PlanResult for assembled plans) keyed by canonical hashes.
+// Entries live in memory up to a bounded count with FIFO eviction;
+// with a spill directory configured, every entry is also written to
+// disk (<dir>/<hash>.json) and evicted or restarted-over entries are
+// re-served from there. The disk tier is itself bounded by an entry
+// cap with oldest-modification-time eviction, so a long-lived daemon
+// cannot grow its spill directory without bound. Because simulations
+// are deterministic in their spec (seed included), a cached document
+// is bit-identical to what a fresh run of the same spec would produce.
 type Cache struct {
 	mu      sync.Mutex
 	max     int
 	dir     string
 	entries map[string][]byte
 	order   []string // insertion order for FIFO eviction
+
+	diskMu  sync.Mutex
+	diskMax int
+	disk    map[string]struct{}
 }
 
 // NewCache builds a cache holding up to max in-memory entries (max <= 0
-// disables the memory tier) spilling to dir (empty = no disk tier).
-// The spill directory is created if it does not exist; if that fails,
-// the disk tier is disabled — loudly, since the operator asked for it —
-// rather than every write failing silently.
-func NewCache(max int, dir string) *Cache {
+// disables the memory tier) spilling to dir (empty = no disk tier),
+// itself bounded to diskMax entries (0 = unbounded) with oldest-mtime
+// eviction. The spill directory is created if it does not exist; if
+// that fails, the disk tier is disabled — loudly, since the operator
+// asked for it — rather than every write failing silently. Entries
+// already in the directory (a daemon restart) are counted against the
+// cap and evicted oldest-first if it is already exceeded.
+func NewCache(max int, dir string, diskMax int) *Cache {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			log.Printf("server: disabling the disk cache tier: %v", err)
 			dir = ""
 		}
 	}
-	return &Cache{max: max, dir: dir, entries: map[string][]byte{}}
+	c := &Cache{max: max, dir: dir, diskMax: diskMax, entries: map[string][]byte{}, disk: map[string]struct{}{}}
+	if dir != "" {
+		if des, err := os.ReadDir(dir); err == nil {
+			for _, de := range des {
+				if name := de.Name(); strings.HasSuffix(name, ".json") {
+					c.disk[strings.TrimSuffix(name, ".json")] = struct{}{}
+				}
+			}
+		}
+		c.diskMu.Lock()
+		c.evictDiskLocked()
+		c.diskMu.Unlock()
+	}
+	return c
 }
 
 // Get returns the cached document for hash. Memory is consulted first,
@@ -81,8 +106,45 @@ func (c *Cache) put(hash string, data []byte, spill bool) {
 		// document a restart would serve.
 		tmp := c.path(hash) + ".tmp"
 		if err := os.WriteFile(tmp, data, 0o644); err == nil {
-			_ = os.Rename(tmp, c.path(hash))
+			if err := os.Rename(tmp, c.path(hash)); err == nil {
+				c.diskMu.Lock()
+				if _, ok := c.disk[hash]; !ok {
+					c.disk[hash] = struct{}{}
+					c.evictDiskLocked()
+				}
+				c.diskMu.Unlock()
+			}
 		}
+	}
+}
+
+// evictDiskLocked trims the spill directory to the diskMax entry cap,
+// removing oldest-mtime files first. Callers must hold diskMu.
+func (c *Cache) evictDiskLocked() {
+	if c.diskMax <= 0 || len(c.disk) <= c.diskMax {
+		return
+	}
+	type aged struct {
+		hash  string
+		mtime int64
+	}
+	files := make([]aged, 0, len(c.disk))
+	for hash := range c.disk {
+		info, err := os.Stat(c.path(hash))
+		if err != nil {
+			// The file is already gone; drop the bookkeeping entry.
+			delete(c.disk, hash)
+			continue
+		}
+		files = append(files, aged{hash: hash, mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if len(c.disk) <= c.diskMax {
+			break
+		}
+		_ = os.Remove(c.path(f.hash))
+		delete(c.disk, f.hash)
 	}
 }
 
@@ -91,6 +153,14 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// DiskLen returns the number of entries in the spill directory — the
+// /healthz gauge behind the -cache-disk-max cap.
+func (c *Cache) DiskLen() int {
+	c.diskMu.Lock()
+	defer c.diskMu.Unlock()
+	return len(c.disk)
 }
 
 func (c *Cache) path(hash string) string {

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestCacheFIFOEviction pins the memory tier's eviction order: under
+// max pressure the oldest inserted entries leave first, and re-putting
+// an existing hash does not reorder it.
+func TestCacheFIFOEviction(t *testing.T) {
+	c := NewCache(3, "", 0)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("h%d", i), []byte{byte(i)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("memory tier holds %d entries, want 3", c.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(fmt.Sprintf("h%d", i)); ok {
+			t.Errorf("h%d survived FIFO eviction", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		data, ok := c.Get(fmt.Sprintf("h%d", i))
+		if !ok || data[0] != byte(i) {
+			t.Errorf("h%d missing after eviction round", i)
+		}
+	}
+	// A duplicate put must not push a fresh entry out of order.
+	c.Put("h2", []byte{99})
+	c.Put("h5", []byte{5})
+	if _, ok := c.Get("h2"); ok {
+		// h2 was the oldest; inserting h5 evicts it regardless of the
+		// duplicate put (FIFO is insertion-ordered, not recency-ordered).
+		t.Error("duplicate put refreshed h2's FIFO position")
+	}
+	if data, ok := c.Get("h3"); !ok || data[0] != 3 {
+		t.Error("h3 lost")
+	}
+}
+
+// TestCacheDiskReserveAfterMemoryEviction pins the two-tier contract:
+// an entry evicted from memory is re-served from the spill directory,
+// and the disk hit is promoted back into the memory tier.
+func TestCacheDiskReserveAfterMemoryEviction(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(1, dir, 0)
+	c.Put("a", []byte("alpha"))
+	c.Put("b", []byte("beta")) // evicts a from memory; both on disk
+
+	if c.Len() != 1 {
+		t.Fatalf("memory tier holds %d entries, want 1", c.Len())
+	}
+	data, ok := c.Get("a")
+	if !ok || string(data) != "alpha" {
+		t.Fatalf("evicted entry not re-served from disk: %q %v", data, ok)
+	}
+	// Promotion-on-Get: the disk hit is back in memory (and b was
+	// FIFO-evicted to make room), so deleting the file does not lose it.
+	if err := os.Remove(filepath.Join(dir, "a.json")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok = c.Get("a")
+	if !ok || string(data) != "alpha" {
+		t.Fatal("disk hit was not promoted into the memory tier")
+	}
+	// b fell out of memory during the promotion but survives on disk.
+	if data, ok := c.Get("b"); !ok || string(data) != "beta" {
+		t.Fatal("b lost from both tiers")
+	}
+}
+
+// TestCacheDiskCap pins the -cache-disk-max satellite: the spill
+// directory is bounded, oldest-mtime entries leave first, and the
+// DiskLen gauge tracks it.
+func TestCacheDiskCap(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(16, dir, 3)
+	for i := 0; i < 6; i++ {
+		hash := fmt.Sprintf("d%d", i)
+		c.Put(hash, []byte{byte(i)})
+		// Distinct mtimes: the filesystem clock may be coarse.
+		past := time.Now().Add(time.Duration(i-10) * time.Second)
+		if err := os.Chtimes(filepath.Join(dir, hash+".json"), past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more put triggers eviction down to the cap.
+	c.Put("d6", []byte{6})
+	if got := c.DiskLen(); got != 3 {
+		t.Fatalf("disk tier holds %d entries, want 3", got)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 3 {
+		t.Fatalf("spill directory holds %d files: %v", len(files), err)
+	}
+	for _, old := range []string{"d0", "d1", "d2", "d3"} {
+		if _, err := os.Stat(filepath.Join(dir, old+".json")); err == nil {
+			t.Errorf("oldest entry %s survived the disk cap", old)
+		}
+	}
+	for _, kept := range []string{"d4", "d5", "d6"} {
+		if _, err := os.Stat(filepath.Join(dir, kept+".json")); err != nil {
+			t.Errorf("recent entry %s evicted: %v", kept, err)
+		}
+	}
+}
+
+// TestCacheDiskCapAtStartup: a restart over an oversized spill
+// directory counts the existing entries and trims to the cap.
+func TestCacheDiskCapAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	warm := NewCache(16, dir, 0)
+	for i := 0; i < 5; i++ {
+		hash := fmt.Sprintf("s%d", i)
+		warm.Put(hash, []byte{byte(i)})
+		past := time.Now().Add(time.Duration(i-10) * time.Second)
+		if err := os.Chtimes(filepath.Join(dir, hash+".json"), past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCache(16, dir, 2)
+	if got := c.DiskLen(); got != 2 {
+		t.Fatalf("restarted disk tier holds %d entries, want 2", got)
+	}
+	if _, ok := c.Get("s4"); !ok {
+		t.Error("newest entry evicted at startup")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s0.json")); err == nil {
+		t.Error("oldest entry survived the startup trim")
+	}
+}

@@ -74,30 +74,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "submission needs a name or an inline scenario")
 		return
 	}
-	if req.Slots != 0 {
-		sc.Sim.Slots = req.Slots
+	if req.Slots != nil {
+		sc.Sim.Slots = *req.Slots
 	}
-	if req.Seed != 0 {
-		sc.Sim.Seed = req.Seed
+	if req.Seed != nil {
+		sc.Sim.Seed = *req.Seed
 	}
-	if sc.Sweep.Axis != "" {
-		writeError(w, http.StatusBadRequest, "sweep scenarios are not supported by the job API; run them with cmd/dynsched")
-		return
+	reps := req.Reps
+	if reps == 0 {
+		reps = 1
 	}
-	if err := sc.Validate(); err != nil {
+	// Decompose into the execution plan: one unit for a plain run, one
+	// per replication/sweep value/grid point otherwise. Plan validates
+	// the spec and also rejects nonsense shapes (reps < 1, replicated
+	// sweeps, oversized grids) with a synchronous diagnostic.
+	p, err := sc.Plan(reps)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// Compile eagerly so unbuildable specs fail the submission, not the
-	// worker: the submitter gets the diagnostic synchronously. The
-	// compilation rides along to the worker instead of being redone.
-	compiled, err := sc.Compile()
+	// Compile the first unit eagerly so unbuildable specs fail the
+	// submission, not the worker: the submitter gets the diagnostic
+	// synchronously. (Units differ only in resolved parameter values,
+	// so the first stands in for all.) The compilation rides along to
+	// the worker instead of being redone — for single runs as the job's
+	// components, for plans as unit 0's.
+	compiled, err := p.Units[0].Scenario.Compile()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
-	j, cached, err := s.submit(sc, compiled, req.NoCache)
+	var j *Job
+	var cached bool
+	if p.Kind == dynsched.PlanRun {
+		j, cached, err = s.submit(sc, compiled, req.NoCache)
+	} else {
+		j, cached, err = s.submitPlan(p, compiled, req.NoCache)
+	}
 	if errors.Is(err, errQueueFull) {
 		writeError(w, http.StatusServiceUnavailable, "job queue is full (%d queued); retry later", s.queueLen())
 		return
@@ -187,11 +201,12 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":      true,
-		"queued":  s.queueLen(),
-		"jobs":    s.jobCount(),
-		"cached":  s.cache.Len(),
-		"workers": s.cfg.Workers,
+		"ok":         true,
+		"queued":     s.queueLen(),
+		"jobs":       s.jobCount(),
+		"cached":     s.cache.Len(),
+		"cachedDisk": s.cache.DiskLen(),
+		"workers":    s.cfg.Workers,
 	})
 }
 

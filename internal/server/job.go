@@ -23,6 +23,8 @@ type (
 	SubmitRequest = api.SubmitRequest
 	// ScenarioInfo is one GET /v1/scenarios entry.
 	ScenarioInfo = api.ScenarioInfo
+	// UnitEvent is the payload of a plan job's per-unit events.
+	UnitEvent = api.UnitEvent
 )
 
 // Job lifecycle states, re-exported for the server's own transitions.
@@ -54,11 +56,26 @@ type Job struct {
 	cancelRequested bool
 	cancel          context.CancelFunc
 
+	// unitsTotal/unitsDone/unitsCached track a plan job's per-unit
+	// progress (zero for single-run jobs). unitsTotal is set before the
+	// job is visible and never changes; the other two advance under mu
+	// as units complete.
+	unitsTotal  int
+	unitsDone   int
+	unitsCached int
+
 	// compiled carries the submit-time compilation (done there so bad
 	// specs fail the POST synchronously) to the one worker that runs the
 	// job, which clears it — no recompilation needed. Only that worker
 	// touches it after construction; the queue send orders the accesses.
 	compiled *dynsched.CompiledScenario
+
+	// plan, when non-nil, marks a plan job (sweep, grid, replicate): the
+	// worker executes the units through the planner instead of a single
+	// simulation, consulting the result cache per unit unless noCache.
+	// Like compiled, only the one worker touches it after construction.
+	plan    *dynsched.Plan
+	noCache bool
 }
 
 func newJob(id, hash string, sc dynsched.Scenario) *Job {
@@ -96,12 +113,15 @@ func (j *Job) View(withResult bool) JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:       j.ID,
-		Hash:     j.Hash,
-		Scenario: j.Scenario.Name,
-		State:    j.state,
-		Cached:   j.cached,
-		Error:    j.errMsg,
+		ID:          j.ID,
+		Hash:        j.Hash,
+		Scenario:    j.Scenario.Name,
+		State:       j.state,
+		Cached:      j.cached,
+		Error:       j.errMsg,
+		UnitsTotal:  j.unitsTotal,
+		UnitsDone:   j.unitsDone,
+		UnitsCached: j.unitsCached,
 	}
 	if withResult && j.state == StateDone {
 		v.Result = json.RawMessage(j.result)

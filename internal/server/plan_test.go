@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"dynsched"
+)
+
+// sweepScenario is lineScenario with a lambda sweep attached.
+func sweepScenario(name string, slots int64, values ...float64) dynsched.Scenario {
+	sc := lineScenario(name, slots, 1)
+	sc.Sweep = dynsched.SweepSpec{Axis: "lambda", Values: values}
+	return sc
+}
+
+// TestServerSweepJobPerUnitCache is the acceptance test for plan jobs:
+// a sweep submitted twice performs zero simulations the second time,
+// and a resubmission with one extra value computes exactly one unit.
+func TestServerSweepJobPerUnitCache(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 2, QueueDepth: 8})
+	sc := sweepScenario("sweep-e2e", 2_000, 0.1, 0.2, 0.3, 0.4)
+
+	// First submission: 4 fresh units.
+	status, first := submitScenario(t, ts, sc)
+	if status != http.StatusAccepted {
+		t.Fatalf("first submission status %d", status)
+	}
+	if first.UnitsTotal != 4 || first.Cached {
+		t.Fatalf("first submission view: %+v", first)
+	}
+	done := waitForState(t, ts, first.ID, StateDone)
+	if done.UnitsDone != 4 || done.UnitsCached != 0 {
+		t.Fatalf("first run counters: %+v", done)
+	}
+
+	// The event stream is ordered: queued, started, 4 unit events with
+	// unitsDone increasing by exactly one, then done.
+	events := streamEvents(t, ts, first.ID)
+	if events[0].Type != "queued" || events[1].Type != "started" {
+		t.Fatalf("stream starts %s, %s", events[0].Type, events[1].Type)
+	}
+	units := 0
+	for _, e := range events[2 : len(events)-1] {
+		if e.Type != "unit" || e.Unit == nil {
+			t.Fatalf("mid-stream event %+v", e)
+		}
+		units++
+		if e.Unit.UnitsDone != units || e.Unit.UnitsTotal != 4 || e.Unit.Cached {
+			t.Fatalf("unit event %d: %+v", units, e.Unit)
+		}
+		if len(e.Unit.Hash) != 64 {
+			t.Fatalf("unit event carries no content address: %+v", e.Unit)
+		}
+	}
+	if units != 4 || events[len(events)-1].Type != "done" {
+		t.Fatalf("stream shape: %d unit events, final %s", units, events[len(events)-1].Type)
+	}
+
+	// The result document is a typed PlanResult with per-unit hashes
+	// and one point per value, in order.
+	var pr dynsched.PlanResult
+	if err := json.Unmarshal(done.Result, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Kind != dynsched.PlanSweep || len(pr.Points) != 4 || len(pr.Units) != 4 {
+		t.Fatalf("plan document: kind=%s points=%d units=%d", pr.Kind, len(pr.Points), len(pr.Units))
+	}
+	for i, pt := range pr.Points {
+		if pt.Axis != "lambda" || pt.Value != sc.Sweep.Values[i] || pt.Result == nil {
+			t.Fatalf("point %d: %+v", i, pt)
+		}
+	}
+
+	// Second submission of the identical spec: plan-level cache hit,
+	// bit-identical document, all units reported cached.
+	status, second := submitScenario(t, ts, sc)
+	if status != http.StatusOK || !second.Cached {
+		t.Fatalf("second submission not cached: status %d %+v", status, second)
+	}
+	if second.UnitsCached != 4 || second.UnitsDone != 4 {
+		t.Fatalf("cached submission counters: %+v", second)
+	}
+	if got := getJob(t, ts, second.ID); !bytes.Equal(got.Result, done.Result) {
+		t.Fatal("cached plan document not bit-identical")
+	}
+
+	// The same units submitted through the grid form (a single-entry
+	// axes list): the plan hash differs — no plan-level hit — but every
+	// unit is served from the per-unit cache: zero simulations.
+	gridForm := lineScenario("sweep-e2e", 2_000, 1)
+	gridForm.Sweep = dynsched.SweepSpec{Axes: []dynsched.SweepAxis{{Axis: "lambda", Values: sc.Sweep.Values}}}
+	status, third := submitScenario(t, ts, gridForm)
+	if status != http.StatusAccepted || third.Cached {
+		t.Fatalf("grid-form submission: status %d %+v", status, third)
+	}
+	if third.Hash == first.Hash {
+		t.Fatal("different sweep spellings share a plan hash")
+	}
+	done3 := waitForState(t, ts, third.ID, StateDone)
+	if done3.UnitsDone != 4 || done3.UnitsCached != 4 {
+		t.Fatalf("per-unit cache pass ran simulations: %+v", done3)
+	}
+	for _, e := range streamEvents(t, ts, third.ID) {
+		if e.Type == "unit" && !e.Unit.Cached {
+			t.Fatalf("unit %d simulated on a warm cache", e.Unit.Index)
+		}
+	}
+
+	// One extra value: exactly one simulation.
+	grown := sweepScenario("sweep-e2e", 2_000, 0.1, 0.2, 0.3, 0.4, 0.5)
+	_, fourth := submitScenario(t, ts, grown)
+	done4 := waitForState(t, ts, fourth.ID, StateDone)
+	if done4.UnitsTotal != 5 || done4.UnitsDone != 5 || done4.UnitsCached != 4 {
+		t.Fatalf("incremental sweep counters: %+v", done4)
+	}
+}
+
+// TestServerReplicateJob: reps > 1 submits a replicate plan whose
+// document aggregates the derived-seed replications, and a replication
+// unit shares its content address with a direct run at that seed.
+func TestServerReplicateJob(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	sc := lineScenario("rep-e2e", 2_000, 7)
+	body, err := json.Marshal(SubmitRequest{Scenario: &sc, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, job := submitJSON(t, ts, string(body))
+	if status != http.StatusAccepted || job.UnitsTotal != 3 {
+		t.Fatalf("replicate submission: status %d %+v", status, job)
+	}
+	done := waitForState(t, ts, job.ID, StateDone)
+	var pr dynsched.PlanResult
+	if err := json.Unmarshal(done.Result, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Kind != dynsched.PlanReplicate || pr.Replicate == nil || len(pr.Replicate.Runs) != 3 {
+		t.Fatalf("replicate document: %+v", pr)
+	}
+
+	// A direct run at replication 0's derived seed is the same cacheable
+	// experiment: its submission is served from the per-unit entry the
+	// replicate job stored.
+	unit := lineScenario("rep-e2e", 2_000, 7)
+	unit.Sim.Seed = dynsched.SubSeed(7, 0)
+	status, direct := submitScenario(t, ts, unit)
+	if status != http.StatusOK || !direct.Cached {
+		t.Fatalf("replication unit not shared with a direct run: status %d %+v", status, direct)
+	}
+
+	// The identical replicate resubmission is a plan-level hit.
+	status, again := submitJSON(t, ts, string(body))
+	if status != http.StatusOK || !again.Cached || again.UnitsCached != 3 {
+		t.Fatalf("replicate resubmission: status %d %+v", status, again)
+	}
+}
+
+// TestServerGridJobAndCancel runs a 2-axis grid end to end, then
+// cancels a long-running grid mid-flight and requires prompt
+// termination (the per-unit contexts must propagate the DELETE).
+func TestServerGridJobAndCancel(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	sc := lineScenario("grid-e2e", 2_000, 1)
+	sc.Sweep = dynsched.SweepSpec{Axes: []dynsched.SweepAxis{
+		{Axis: "lambda", Values: []float64{0.2, 0.4}},
+		{Axis: "eps", Values: []float64{0.25, 0.5}},
+	}}
+	status, job := submitScenario(t, ts, sc)
+	if status != http.StatusAccepted || job.UnitsTotal != 4 {
+		t.Fatalf("grid submission: status %d %+v", status, job)
+	}
+	done := waitForState(t, ts, job.ID, StateDone)
+	var pr dynsched.PlanResult
+	if err := json.Unmarshal(done.Result, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Kind != dynsched.PlanGrid || len(pr.Points) != 4 {
+		t.Fatalf("grid document: %+v", pr)
+	}
+	for i, pt := range pr.Points {
+		if len(pt.Coords) != 2 || pt.Result == nil {
+			t.Fatalf("grid point %d: %+v", i, pt)
+		}
+	}
+
+	// Cancellation: a grid of effectively-infinite units stops promptly.
+	long := lineScenario("grid-long", 500_000_000, 1)
+	long.Sweep = dynsched.SweepSpec{Axes: []dynsched.SweepAxis{
+		{Axis: "lambda", Values: []float64{0.2, 0.4}},
+		{Axis: "eps", Values: []float64{0.25, 0.5}},
+	}}
+	_, running := submitScenario(t, ts, long)
+	waitForState(t, ts, running.ID, StateRunning)
+	start := time.Now()
+	if err := deleteJob(ts, running.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, ts, running.ID, StateCancelled)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("grid cancellation took %v", elapsed)
+	}
+	events := streamEvents(t, ts, running.ID)
+	if last := events[len(events)-1]; last.Type != "cancelled" {
+		t.Fatalf("stream ends with %+v", last)
+	}
+}
+
+// TestServerUnitEventCap pins the plan-side event-log bound: a plan
+// with more units than maxUnitEvents retains a thinned unit stream —
+// strictly increasing counters ending at the full total — instead of
+// one event per unit.
+func TestServerUnitEventCap(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 2, QueueDepth: 8})
+	values := make([]float64, 2*maxUnitEvents+37)
+	for i := range values {
+		values[i] = 0.1 + 0.0001*float64(i)
+	}
+	sc := sweepScenario("unit-cap", 50, values...)
+	_, job := submitScenario(t, ts, sc)
+	done := waitForState(t, ts, job.ID, StateDone)
+	if done.UnitsDone != len(values) {
+		t.Fatalf("completed %d of %d units", done.UnitsDone, len(values))
+	}
+	unitEvents, lastDone := 0, 0
+	for _, e := range streamEvents(t, ts, job.ID) {
+		if e.Type != "unit" {
+			continue
+		}
+		unitEvents++
+		if e.Unit.UnitsDone <= lastDone {
+			t.Fatalf("unit counters went %d -> %d", lastDone, e.Unit.UnitsDone)
+		}
+		lastDone = e.Unit.UnitsDone
+	}
+	if unitEvents == 0 || unitEvents > maxUnitEvents {
+		t.Fatalf("%d unit events retained, want (0, %d]", unitEvents, maxUnitEvents)
+	}
+	if lastDone != len(values) {
+		t.Fatalf("final unit event reports %d done, want %d", lastDone, len(values))
+	}
+}
+
+// TestServerSeedZeroOverride pins the satellite fix: the wire fields
+// are pointers, so an explicit seed 0 override is expressible and
+// distinct from omitting the field.
+func TestServerSeedZeroOverride(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, QueueDepth: 4})
+	status, plain := submitJSON(t, ts, `{"name":"line-stochastic","slots":2000}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("plain submission status %d", status)
+	}
+	status, zero := submitJSON(t, ts, `{"name":"line-stochastic","slots":2000,"seed":0}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("seed-0 submission status %d", status)
+	}
+	if zero.Hash == plain.Hash {
+		t.Fatal("explicit seed 0 was treated as absent (same content address)")
+	}
+	reg, _ := dynsched.ScenarioByName("line-stochastic")
+	reg.Sim.Slots = 2000
+	reg.Sim.Seed = 0
+	if zero.Hash != reg.Hash() {
+		t.Fatal("seed-0 submission does not address the seed-0 experiment")
+	}
+	for _, id := range []string{plain.ID, zero.ID} {
+		waitForState(t, ts, id, StateDone)
+	}
+}
+
+// TestServerPlanSubmissionErrors: plan-shaped nonsense fails the POST
+// synchronously.
+func TestServerPlanSubmissionErrors(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, QueueDepth: 4})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"negative reps", `{"name":"line-stochastic","reps":-2}`, http.StatusBadRequest},
+		{"replicated sweep", `{"reps":3,"scenario":{"name":"x","sim":{"slots":10},"sweep":{"axis":"lambda","values":[0.1]}}}`, http.StatusBadRequest},
+		{"duplicate grid axes", `{"scenario":{"name":"x","sim":{"slots":10},"sweep":{"axes":[{"axis":"lambda","values":[0.1]},{"axis":"lambda","values":[0.2]}]}}}`, http.StatusBadRequest},
+		{"empty axis values", `{"scenario":{"name":"x","sim":{"slots":10},"sweep":{"axes":[{"axis":"lambda","values":[]}]}}}`, http.StatusBadRequest},
+		{"axis and axes", `{"scenario":{"name":"x","sim":{"slots":10},"sweep":{"axis":"eps","values":[0.1],"axes":[{"axis":"lambda","values":[0.1]}]}}}`, http.StatusBadRequest},
+		{"uncompilable sweep", `{"scenario":{"name":"x","model":{"kind":"tachyon"},"sim":{"slots":10},"sweep":{"axis":"lambda","values":[0.1]}}}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if status, _ := submitJSON(t, ts, c.body); status != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, status, c.want)
+		}
+	}
+}
+
+// TestServerHealthDiskGauge: /healthz reports the spill-directory
+// occupancy so operators can watch the -cache-disk-max cap.
+func TestServerHealthDiskGauge(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := startServer(t, Config{Workers: 1, QueueDepth: 4, CacheDir: dir, CacheDiskMax: 8})
+	_, job := submitScenario(t, ts, lineScenario("gauge", 2_000, 1))
+	waitForState(t, ts, job.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["cachedDisk"] != float64(1) {
+		t.Fatalf("healthz cachedDisk = %v, want 1", health["cachedDisk"])
+	}
+}

@@ -10,7 +10,14 @@
 //	POST   /v1/jobs              submit a spec ({"scenario": {...}}) or a
 //	                             registered name ({"name": "..."}); 202 on
 //	                             enqueue, 200 on a cache hit, 503 when the
-//	                             queue is full
+//	                             queue is full. A sweep/grid spec or
+//	                             "reps" > 1 submits an execution plan:
+//	                             the job decomposes into per-unit
+//	                             simulations, each consulting the result
+//	                             cache by its own content address, with
+//	                             "unit" completion events and
+//	                             unitsTotal/unitsDone/unitsCached
+//	                             counters in the job view
 //	GET    /v1/jobs              list jobs
 //	GET    /v1/jobs/{id}         job state, including the result when done
 //	GET    /v1/jobs/{id}/events  NDJSON progress stream until terminal
@@ -45,6 +52,9 @@ type Config struct {
 	// CacheDir, when set, spills every cached result to disk and serves
 	// evicted entries from there across restarts.
 	CacheDir string
+	// CacheDiskMax bounds the spill directory to this many entries,
+	// evicting oldest-mtime files first (0 = unbounded).
+	CacheDiskMax int
 	// ProgressEvery is the progress-event period in slots (0 = one
 	// twentieth of each job's run length). An explicit period is floored
 	// so no job emits more than maxProgressEvents progress events.
@@ -91,7 +101,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
 		cfg:   cfg,
-		cache: NewCache(cfg.CacheEntries, cfg.CacheDir),
+		cache: NewCache(cfg.CacheEntries, cfg.CacheDir, cfg.CacheDiskMax),
 		queue: make(chan *Job, cfg.QueueDepth),
 		jobs:  map[string]*Job{},
 	}
@@ -125,8 +135,9 @@ func (s *Server) worker(ctx context.Context) {
 }
 
 // runJob executes one queued job end to end: transition to running,
-// compile, simulate with a progress observer publishing into the
-// job's event stream, cache and publish the result.
+// then either a single simulation with a progress observer or a full
+// execution plan with per-unit cache consultation, publishing into the
+// job's event stream; finally cache and publish the result document.
 func (s *Server) runJob(ctx context.Context, j *Job) {
 	jctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -141,7 +152,18 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	j.publishLocked(Event{Type: "started"})
 	j.mu.Unlock()
 
-	res, err := s.simulate(jctx, j)
+	var data []byte
+	var err error
+	if j.plan != nil {
+		data, err = s.runPlan(jctx, j)
+	} else {
+		var res *dynsched.SimResult
+		if res, err = s.simulate(jctx, j); err == nil {
+			if data, err = json.Marshal(res); err != nil {
+				err = fmt.Errorf("marshaling result: %v", err)
+			}
+		}
+	}
 	if err != nil {
 		j.mu.Lock()
 		defer j.mu.Unlock()
@@ -155,16 +177,6 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		j.publishLocked(Event{Type: "failed", Error: j.errMsg})
 		return
 	}
-
-	data, err := json.Marshal(res)
-	if err != nil {
-		j.mu.Lock()
-		defer j.mu.Unlock()
-		j.state = StateFailed
-		j.errMsg = fmt.Sprintf("marshaling result: %v", err)
-		j.publishLocked(Event{Type: "failed", Error: j.errMsg})
-		return
-	}
 	s.cache.Put(j.Hash, data)
 
 	j.mu.Lock()
@@ -172,6 +184,84 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	j.state = StateDone
 	j.result = data
 	j.publishLocked(Event{Type: "done"})
+}
+
+// maxUnitEvents bounds one plan job's share of the event log, exactly
+// like maxProgressEvents bounds a single run's: plans beyond the cap
+// publish a thinned unit stream (every ⌈total/cap⌉-th completion plus
+// the final one), so a maximal grid cannot grow the retained log —
+// or every later /events replay — to tens of thousands of entries.
+// The job-view counters still advance for every unit.
+const maxUnitEvents = 512
+
+// runPlan executes a plan job: every unit goes through the
+// content-addressed cache (lookup before running, store after, unless
+// the submission asked for noCache), completions stream into the
+// job's event log as "unit" events with monotonic counters, and the
+// assembled PlanResult document is returned for the plan-level cache
+// entry. Unit workers run on the planner's pool, sized by the
+// scenario's Sim.Parallel (0 = GOMAXPROCS). Plan jobs report progress
+// at unit granularity only — the slot-level progress observer (and
+// -progress-every) applies to single-run jobs, where there is exactly
+// one simulation to watch.
+func (s *Server) runPlan(ctx context.Context, j *Job) ([]byte, error) {
+	p := j.plan
+	j.plan = nil // single-run payloads; don't retain them past the run
+	compiled := j.compiled
+	j.compiled = nil
+	stride := (len(p.Units) + maxUnitEvents - 1) / maxUnitEvents
+	opts := dynsched.ExecOptions{
+		Compiled: func(u dynsched.PlanUnit) *dynsched.CompiledScenario {
+			if u.Index == 0 {
+				return compiled // the submit-time compilation; nil after a cache hit is fine
+			}
+			return nil
+		},
+		Store: func(u dynsched.PlanUnit, res *dynsched.SimResult) {
+			if data, err := json.Marshal(res); err == nil {
+				s.cache.Put(u.Hash, data)
+			}
+		},
+		OnUnit: func(u dynsched.PlanUnit, cached bool, err error, prog dynsched.PlanProgress) {
+			if err != nil {
+				// The terminal failed/cancelled event carries the outcome;
+				// per-unit errors are not separate stream entries.
+				return
+			}
+			j.mu.Lock()
+			j.unitsDone, j.unitsCached = prog.Done, prog.Cached
+			if prog.Done%stride == 0 || prog.Done == prog.Total {
+				j.publishLocked(Event{Type: "unit", Unit: &UnitEvent{
+					Index:       u.Index,
+					Hash:        u.Hash,
+					Coords:      u.Coords,
+					Cached:      cached,
+					UnitsDone:   prog.Done,
+					UnitsCached: prog.Cached,
+					UnitsTotal:  prog.Total,
+				}})
+			}
+			j.mu.Unlock()
+		},
+	}
+	if !j.noCache {
+		opts.Lookup = func(u dynsched.PlanUnit) (*dynsched.SimResult, bool) {
+			data, ok := s.cache.Get(u.Hash)
+			if !ok {
+				return nil, false
+			}
+			var res dynsched.SimResult
+			if err := json.Unmarshal(data, &res); err != nil {
+				return nil, false
+			}
+			return &res, true
+		}
+	}
+	pr, err := p.Execute(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(pr)
 }
 
 // maxProgressEvents bounds one job's share of the event log: however
@@ -232,6 +322,44 @@ func (s *Server) submit(sc dynsched.Scenario, compiled *dynsched.CompiledScenari
 	}
 	j := newJob(s.allocID(), hash, sc)
 	j.compiled = compiled
+	j.publish(Event{Type: "queued"})
+	select {
+	case s.queue <- j:
+	default:
+		return nil, false, errQueueFull
+	}
+	s.register(j)
+	return j, false, nil
+}
+
+// submitPlan registers and enqueues a plan job (sweep, grid or
+// replicate), serving the assembled document from the plan-level cache
+// when the identical plan already ran (unless noCache — then every
+// unit simulates afresh too). Per-unit cache consultation happens in
+// the worker; a plan-level miss with full per-unit hits still runs
+// zero simulations. compiled, when non-nil, is unit 0's submit-time
+// compilation, handed to the worker so it is not redone.
+func (s *Server) submitPlan(p *dynsched.Plan, compiled *dynsched.CompiledScenario, noCache bool) (*Job, bool, error) {
+	hash := p.Hash()
+	if !noCache {
+		if data, ok := s.cache.Get(hash); ok {
+			j := newJob(s.allocID(), hash, p.Source)
+			j.state = StateDone
+			j.cached = true
+			j.result = data
+			j.unitsTotal = len(p.Units)
+			j.unitsDone = len(p.Units)
+			j.unitsCached = len(p.Units)
+			j.publish(Event{Type: "done", Cached: true})
+			s.register(j)
+			return j, true, nil
+		}
+	}
+	j := newJob(s.allocID(), hash, p.Source)
+	j.plan = p
+	j.compiled = compiled
+	j.noCache = noCache
+	j.unitsTotal = len(p.Units)
 	j.publish(Event{Type: "queued"})
 	select {
 	case s.queue <- j:

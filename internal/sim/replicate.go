@@ -44,6 +44,32 @@ type ReplicateResult struct {
 	MeanLat   stats.Summary `json:"meanLatency"` // across-replication distribution of mean latency
 }
 
+// ReplicationOf summarises one completed run as its replication row.
+// It is the single definition of which headline numbers a replication
+// carries — Replicate and the execution planner both assemble their
+// aggregates from it.
+func ReplicationOf(rep int, res *Result) Replication {
+	return Replication{
+		Rep:       rep,
+		Stable:    res.Verdict.Stable,
+		MeanQ:     res.Queue.MeanV(),
+		MaxQ:      res.Queue.MaxV(),
+		MeanLat:   res.Latency.Mean(),
+		Delivered: res.Delivered,
+		Injected:  res.Injected,
+	}
+}
+
+// Accumulate folds one completed replication into the aggregate.
+// Callers fold rows in replication order starting from a result with
+// StableAll == true (the vacuous truth over zero runs).
+func (r *ReplicateResult) Accumulate(run Replication) {
+	r.Runs = append(r.Runs, run)
+	r.StableAll = r.StableAll && run.Stable
+	r.MeanQ.Add(run.MeanQ)
+	r.MeanLat.Add(run.MeanLat)
+}
+
 // Replicate runs `reps` independent simulations on a worker pool of
 // cfg.Parallel goroutines (0 = GOMAXPROCS) and aggregates the headline
 // metrics. Each replication r derives its own seed SubSeed(cfg.Seed, r),
@@ -82,15 +108,7 @@ func Replicate(ctx context.Context, cfg Config, reps int, build func(rep int, se
 			errs[r] = err
 			return
 		}
-		runs[r] = Replication{
-			Rep:       r,
-			Stable:    res.Verdict.Stable,
-			MeanQ:     res.Queue.MeanV(),
-			MaxQ:      res.Queue.MaxV(),
-			MeanLat:   res.Latency.Mean(),
-			Delivered: res.Delivered,
-			Injected:  res.Injected,
-		}
+		runs[r] = ReplicationOf(r, res)
 		done[r] = true
 	})
 
@@ -110,10 +128,7 @@ func Replicate(ctx context.Context, cfg Config, reps int, build func(rep int, se
 		if !done[r] {
 			continue
 		}
-		out.Runs = append(out.Runs, runs[r])
-		out.StableAll = out.StableAll && runs[r].Stable
-		out.MeanQ.Add(runs[r].MeanQ)
-		out.MeanLat.Add(runs[r].MeanLat)
+		out.Accumulate(runs[r])
 	}
 	if err := ctx.Err(); err != nil {
 		return out, fmt.Errorf("sim: replicate cancelled with %d of %d replications completed: %w", len(out.Runs), reps, err)

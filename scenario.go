@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -80,12 +81,55 @@ type SimSpec struct {
 	Parallel int `json:"parallel,omitempty"`
 }
 
-// SweepSpec declares a one-dimensional parameter sweep.
+// SweepAxis is one axis of a grid sweep: the swept parameter and its
+// values.
+type SweepAxis struct {
+	// Axis is the swept parameter: lambda, eps, loss, or slots.
+	Axis string `json:"axis"`
+	// Values are the axis's sweep values. The slots axis takes positive
+	// whole numbers.
+	Values []float64 `json:"values"`
+}
+
+// SweepSpec declares a parameter sweep: either a single Axis with its
+// Values (the legacy one-dimensional form) or a multi-axis grid via
+// Axes, whose execution plan is the cross product of all axis values.
+// The two forms are mutually exclusive; a single-entry Axes list is
+// equivalent to the legacy form.
 type SweepSpec struct {
-	// Axis is the swept parameter: lambda, eps, or loss.
+	// Axis is the swept parameter: lambda, eps, loss, or slots.
 	Axis string `json:"axis,omitempty"`
-	// Values are applied to the axis one RunSweep step at a time.
+	// Values are applied to the axis one sweep unit at a time.
 	Values []float64 `json:"values,omitempty"`
+	// Axes declares a multi-axis grid sweep (cross product, last axis
+	// varying fastest). Mutually exclusive with Axis/Values.
+	Axes []SweepAxis `json:"axes,omitempty"`
+}
+
+// normalized returns the sweep as a uniform axis list: Axes when
+// declared, the single legacy axis otherwise, nil for no sweep.
+func (sw SweepSpec) normalized() []SweepAxis {
+	if len(sw.Axes) > 0 {
+		return sw.Axes
+	}
+	if sw.Axis != "" {
+		return []SweepAxis{{Axis: sw.Axis, Values: sw.Values}}
+	}
+	return nil
+}
+
+// applyAxis resolves one sweep coordinate into the spec.
+func applyAxis(s *Scenario, axis string, v float64) {
+	switch axis {
+	case "lambda":
+		s.Traffic.Lambda = v
+	case "eps":
+		s.Protocol.Eps = v
+	case "loss":
+		s.Model.Loss = v
+	case "slots":
+		s.Sim.Slots = int64(v)
+	}
 }
 
 // ObserverFactory builds a fresh SimObserver for one run. Factories —
@@ -193,9 +237,16 @@ func WithObservers(factories ...ObserverFactory) ScenarioOption {
 	return func(s *Scenario) { s.Observers = append(s.Observers, factories...) }
 }
 
-// WithSweep declares a one-dimensional sweep over lambda, eps, or loss.
+// WithSweep declares a one-dimensional sweep over lambda, eps, loss,
+// or slots.
 func WithSweep(axis string, values ...float64) ScenarioOption {
 	return func(s *Scenario) { s.Sweep = SweepSpec{Axis: axis, Values: values} }
+}
+
+// WithSweepAxes declares a multi-axis grid sweep: the execution plan is
+// the cross product of all axis values, the last axis varying fastest.
+func WithSweepAxes(axes ...SweepAxis) ScenarioOption {
+	return func(s *Scenario) { s.Sweep = SweepSpec{Axes: axes} }
 }
 
 // Validate checks the parts of the spec that Compile's component
@@ -229,22 +280,38 @@ func (s Scenario) Validate() error {
 	default:
 		return fmt.Errorf("dynsched: scenario %q: unknown traffic pattern %q", s.Name, s.Traffic.Pattern)
 	}
-	if s.Sweep.Axis != "" {
-		switch s.Sweep.Axis {
-		case "lambda", "eps", "loss":
+	if s.Sweep.Axis != "" && len(s.Sweep.Axes) > 0 {
+		return fmt.Errorf("dynsched: scenario %q: sweep axis and axes are mutually exclusive", s.Name)
+	}
+	axes := s.Sweep.normalized()
+	if len(axes) == 0 && len(s.Sweep.Values) > 0 {
+		return fmt.Errorf("dynsched: scenario %q: sweep has %d values but no axis", s.Name, len(s.Sweep.Values))
+	}
+	if len(s.Sweep.Axes) > 0 && len(s.Sweep.Values) > 0 {
+		return fmt.Errorf("dynsched: scenario %q: sweep values outside axes entries in a grid sweep", s.Name)
+	}
+	seen := make(map[string]bool, len(axes))
+	for _, ax := range axes {
+		switch ax.Axis {
+		case "lambda", "eps", "loss", "slots":
 		default:
-			return fmt.Errorf("dynsched: scenario %q: unknown sweep axis %q (want lambda, eps, or loss)", s.Name, s.Sweep.Axis)
+			return fmt.Errorf("dynsched: scenario %q: unknown sweep axis %q (want lambda, eps, loss, or slots)", s.Name, ax.Axis)
 		}
-		if len(s.Sweep.Values) == 0 {
-			return fmt.Errorf("dynsched: scenario %q: sweep axis %q has no values", s.Name, s.Sweep.Axis)
+		if seen[ax.Axis] {
+			return fmt.Errorf("dynsched: scenario %q: duplicate sweep axis %q", s.Name, ax.Axis)
 		}
-		for i, v := range s.Sweep.Values {
+		seen[ax.Axis] = true
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("dynsched: scenario %q: sweep axis %q has no values", s.Name, ax.Axis)
+		}
+		for i, v := range ax.Values {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("dynsched: scenario %q: sweep value %d on axis %q is %v (must be finite)", s.Name, i, s.Sweep.Axis, v)
+				return fmt.Errorf("dynsched: scenario %q: sweep value %d on axis %q is %v (must be finite)", s.Name, i, ax.Axis, v)
+			}
+			if ax.Axis == "slots" && (v != math.Trunc(v) || v < 1 || v > 1e15) {
+				return fmt.Errorf("dynsched: scenario %q: sweep value %d on axis slots is %v (must be a positive whole number)", s.Name, i, v)
 			}
 		}
-	} else if len(s.Sweep.Values) > 0 {
-		return fmt.Errorf("dynsched: scenario %q: sweep has %d values but no axis", s.Name, len(s.Sweep.Values))
 	}
 	return nil
 }
@@ -327,77 +394,95 @@ func (c *CompiledScenario) Run(ctx context.Context) (*SimResult, error) {
 	return sim.Run(ctx, c.Config, c.Model, c.Process, c.Protocol, c.Observers...)
 }
 
-// Run compiles and executes the scenario once. A nil ctx means
-// context.Background(); a cancelled context yields the partial result
-// together with an error wrapping the context's error.
+// Run compiles and executes the scenario once, as a single-unit
+// execution plan (any sweep spec is ignored, as it always was). A nil
+// ctx means context.Background(); a cancelled context yields the
+// partial result together with an error wrapping the context's error.
 func (s Scenario) Run(ctx context.Context) (*SimResult, error) {
-	c, err := s.Compile()
-	if err != nil {
+	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return c.Run(ctx)
+	pr, err := s.runPlan().Execute(ctx, ExecOptions{Parallel: 1})
+	if pr.Run == nil && err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// The context was cancelled before the pool claimed the unit.
+		// The engine's contract is a partial (zero-slot) result under a
+		// cancelled context, so hand the call through to it.
+		c, cerr := s.Compile()
+		if cerr != nil {
+			return nil, cerr
+		}
+		return c.Run(ctx)
+	}
+	return pr.Run, err
 }
 
-// Replicate compiles and runs the scenario `reps` times with derived
-// per-replication seeds on a pool of Sim.Parallel workers, rebuilding
-// every component (and observer) per replication. Results are
-// bit-identical for every pool size.
+// Replicate runs the scenario `reps` times through the execution
+// planner — one unit per replication, each a fully-resolved scenario
+// at the derived seed SubSeed(Sim.Seed, rep) — on a pool of
+// Sim.Parallel workers, rebuilding every component (and observer) per
+// replication. Results are bit-identical for every pool size. When ctx
+// is cancelled mid-way it returns the aggregate over the completed
+// replications together with an error wrapping the context's error.
 func (s Scenario) Replicate(ctx context.Context, reps int) (*ReplicateResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return sim.Replicate(ctx, s.simConfig(), reps, func(rep int, seed int64) (ReplicateInput, error) {
-		sc := s
-		sc.Sim.Seed = seed
-		c, err := sc.Compile()
-		if err != nil {
-			return ReplicateInput{}, err
+	if reps < 1 {
+		return nil, fmt.Errorf("dynsched: scenario %q: reps %d must be positive", s.Name, reps)
+	}
+	pr, err := s.replicatePlan(reps).Execute(ctx, ExecOptions{})
+	if err != nil {
+		var ue *PlanUnitError
+		if errors.As(err, &ue) {
+			return nil, ue.Err
 		}
-		return ReplicateInput{
-			Model:     c.Model,
-			Process:   c.Process,
-			Protocol:  c.Protocol,
-			Observers: c.Observers,
-		}, nil
-	})
+		return pr.Replicate, fmt.Errorf("dynsched: replicate cancelled with %d of %d replications completed: %w",
+			len(pr.Replicate.Runs), reps, err)
+	}
+	return pr.Replicate, nil
 }
 
-// SweepPoint is one sweep step's outcome.
+// SweepPoint is one sweep unit's outcome. One-dimensional sweeps
+// populate Axis/Value (the legacy shape); grid sweeps populate Coords
+// with one entry per axis instead.
 type SweepPoint struct {
-	Axis   string     `json:"axis"`
-	Value  float64    `json:"value"`
-	Result *SimResult `json:"result"`
+	Axis   string      `json:"axis"`
+	Value  float64     `json:"value"`
+	Coords []AxisValue `json:"coords,omitempty"`
+	Result *SimResult  `json:"result"`
 }
 
-// RunSweep runs the scenario once per sweep value, applying each value
-// to the sweep axis. It returns the completed points when the context
-// is cancelled mid-sweep, together with the run's error.
+// RunSweep decomposes the scenario's sweep into an execution plan —
+// one unit per value for a single axis, one per cross-product point
+// for a grid — and runs the units on a pool of Sim.Parallel workers.
+// Points come back in canonical unit order and are bit-identical for
+// every pool size. When ctx is cancelled mid-sweep it returns the
+// completed points together with the run's error. (Observer factories
+// run concurrently under a parallel pool; set Sim.Parallel to 1 for
+// factories that share unsynchronised state.)
 func (s Scenario) RunSweep(ctx context.Context) ([]SweepPoint, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	if s.Sweep.Axis == "" {
+	if len(s.Sweep.normalized()) == 0 {
 		return nil, fmt.Errorf("dynsched: scenario %q has no sweep axis", s.Name)
 	}
-	out := make([]SweepPoint, 0, len(s.Sweep.Values))
-	for _, v := range s.Sweep.Values {
-		sc := s
-		sc.Sweep = SweepSpec{}
-		switch s.Sweep.Axis {
-		case "lambda":
-			sc.Traffic.Lambda = v
-		case "eps":
-			sc.Protocol.Eps = v
-		case "loss":
-			sc.Model.Loss = v
-		}
-		res, err := sc.Run(ctx)
-		if err != nil {
-			return out, fmt.Errorf("dynsched: sweep %s=%v: %w", s.Sweep.Axis, v, err)
-		}
-		out = append(out, SweepPoint{Axis: s.Sweep.Axis, Value: v, Result: res})
+	p, err := s.sweepPlan()
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	pr, err := p.Execute(ctx, ExecOptions{})
+	if err != nil {
+		var ue *PlanUnitError
+		if errors.As(err, &ue) {
+			if p.Kind == PlanSweep {
+				return pr.Points, fmt.Errorf("dynsched: sweep %s=%v: %w", ue.Unit.Coords[0].Axis, ue.Unit.Coords[0].Value, ue.Err)
+			}
+			return pr.Points, fmt.Errorf("dynsched: sweep unit %d (%s): %w", ue.Unit.Index, ue.Unit.Label(), ue.Err)
+		}
+		return pr.Points, fmt.Errorf("dynsched: sweep cancelled with %d of %d units completed: %w", pr.UnitsDone, pr.UnitsTotal, err)
+	}
+	return pr.Points, nil
 }
 
 // ---- JSON ----

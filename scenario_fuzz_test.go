@@ -31,6 +31,16 @@ func FuzzParseScenario(f *testing.F) {
 		`{"name":"x","sim":{"slots":10}`,
 		`{"name":"x","network":{"nodes":99999999999999999999}}`,
 		`{"name":"golden","description":"pinned fingerprint fixture","network":{"topology":"line","nodes":6,"hops":5},"model":{"kind":"identity","loss":0.1},"traffic":{"pattern":"stochastic","lambda":0.35},"protocol":{"alg":"full-parallel","eps":0.25},"sim":{"slots":50000,"seed":7,"warmupFrac":0.1},"sweep":{}}`,
+		// Grid-sweep specs: the multi-axis SweepSpec surface is fuzzed
+		// from day one — valid grids, duplicate axes, empty value lists,
+		// both forms at once, and non-integral slots values.
+		`{"name":"g","sim":{"slots":10},"sweep":{"axes":[{"axis":"lambda","values":[0.1,0.2]},{"axis":"eps","values":[0.25,0.5]}]}}`,
+		`{"name":"g","sim":{"slots":10},"sweep":{"axes":[{"axis":"lambda","values":[0.1]},{"axis":"lambda","values":[0.2]}]}}`,
+		`{"name":"g","sim":{"slots":10},"sweep":{"axes":[{"axis":"loss","values":[]}]}}`,
+		`{"name":"g","sim":{"slots":10},"sweep":{"axis":"eps","values":[0.1],"axes":[{"axis":"lambda","values":[0.1]}]}}`,
+		`{"name":"g","sim":{"slots":10},"sweep":{"axes":[{"axis":"slots","values":[100.5]}]}}`,
+		`{"name":"g","sim":{"slots":10},"sweep":{"axes":[{"axis":"slots","values":[1000,2000]},{"axis":"lambda","values":[0.1,1e308]}]}}`,
+		`{"name":"g","sim":{"slots":10},"sweep":{"axes":[]}}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
