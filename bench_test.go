@@ -2,6 +2,7 @@ package dynsched
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -279,3 +280,47 @@ func BenchmarkPlanSweep64(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE15SpatialScale(b *testing.B) { benchExperiment(b, "E15") }
+
+// ---- Scale benchmarks: the spatially-indexed SINR backing ----
+//
+// BenchmarkSlotResolve100k is part of the committed-baseline smoke set;
+// BenchmarkSlotResolve1M is the headline scale target (one million
+// links, 8192 concurrent transmissions per slot) and is regenerated
+// with the baseline but tolerated as missing in CI smoke runs (see
+// cmd/bench -allow-missing).
+
+func benchIndexedModel(b *testing.B, n int) *sinr.FixedPower {
+	b.Helper()
+	rng := rand.New(rand.NewSource(5))
+	g := netgraph.RandomPairs(rng, n, 10*math.Sqrt(float64(n)), 1, 4)
+	prm := sinr.DefaultParams()
+	powers, err := sinr.Powers(g, prm, sinr.PowerUniform, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prm.Noise = sinr.MaxNoise(g, prm, powers, 0.5)
+	m, err := sinr.NewFixedPowerOpts(g, prm, powers, sinr.WeightMonotone,
+		sinr.Options{Backing: sinr.BackIndexed, FarFloor: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchSlotResolve(b *testing.B, n, k int) {
+	m := benchIndexedModel(b, n)
+	rng := rand.New(rand.NewSource(6))
+	tx := rng.Perm(n)[:k]
+	resolve := m.NewResolver()
+	resolve(tx) // warm the per-resolver scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resolve(tx)
+	}
+}
+
+func BenchmarkSlotResolve100k(b *testing.B) { benchSlotResolve(b, 100_000, 4096) }
+func BenchmarkSlotResolve1M(b *testing.B)   { benchSlotResolve(b, 1_000_000, 8192) }

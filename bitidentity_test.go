@@ -289,6 +289,12 @@ func TestScenariosBitIdenticalToPrePlannerPaths(t *testing.T) {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
 			t.Parallel()
+			if s.Network.Links > 4096 {
+				// Scale scenarios: planner equivalence is exercised at CI
+				// size by sinr-grid-4k; the 10⁵/10⁶ entries are benchmark
+				// and local-run targets (see scale_test.go).
+				t.Skipf("skipping %d-link scale scenario in quick tests", s.Network.Links)
+			}
 			s.Sim.Slots = quickSlots
 
 			got, err := s.Run(context.Background())
@@ -343,6 +349,16 @@ func TestScenariosBitIdenticalToPreTablePath(t *testing.T) {
 	for _, s := range Scenarios() {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
+			if s.Model.FarFloor > 0 {
+				// An ε > 0 indexed backing is envelope-bound, not
+				// bit-identical to the exact reference; its ε = 0 twin is
+				// pinned bit-identical by TestScenariosIndexedBitIdentity
+				// and its soundness by TestScenariosFarFloorSound.
+				t.Skipf("skipping ε=%v indexed scenario on the exact-reference comparison", s.Model.FarFloor)
+			}
+			if s.Network.Links > 2048 {
+				t.Skipf("skipping %d-link scale scenario in quick tests", s.Network.Links)
+			}
 			s.Sim.Slots = quickSlots
 			fast, err := s.Compile()
 			if err != nil {

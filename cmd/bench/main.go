@@ -2,9 +2,10 @@
 // (bench_test.go) with -benchmem, parses the results, and either writes
 // them as a JSON baseline or compares them against a committed one.
 //
-// Refresh the committed baseline:
+// Refresh the committed baseline (-scale adds the heavy 1M-link bench,
+// which belongs in the baseline but not in CI smoke):
 //
-//	go run ./cmd/bench -benchtime 100x -out BENCH_baseline.json
+//	go run ./cmd/bench -benchtime 100x -scale -out BENCH_baseline.json
 //
 // CI regression smoke (fails on ns/op > factor× baseline or on
 // allocation-count regressions, which are deterministic):
@@ -32,13 +33,18 @@ import (
 )
 
 // microBenches is the default benchmark set: the hot-path micro
-// benchmarks, not the end-to-end experiment benches (E1–E14), which are
+// benchmarks, not the end-to-end experiment benches (E1–E15), which are
 // too slow for a smoke run.
 const microBenches = "^(BenchmarkMeasure64Links|BenchmarkMeasure64LinksDense|" +
 	"BenchmarkIncrementalMeasure64|BenchmarkSINRSuccesses16Tx|" +
 	"BenchmarkSINRSuccessesAlloc16Tx|BenchmarkAffectanceMatrixBuild64|" +
 	"BenchmarkStaticDecay|BenchmarkStaticSpread|BenchmarkPowerControlSolve8|" +
-	"BenchmarkDynamicProtocolSlot|BenchmarkPlanSweep64)$"
+	"BenchmarkDynamicProtocolSlot|BenchmarkPlanSweep64|BenchmarkSlotResolve100k)$"
+
+// scaleBenches are the heavy benchmarks included only when -scale is
+// set: a million-link model takes seconds to construct, which is fine
+// for a baseline refresh but not for the CI regression smoke.
+const scaleBenches = "BenchmarkSlotResolve1M"
 
 // Entry is one benchmark's measurement.
 type Entry struct {
@@ -70,8 +76,14 @@ func main() {
 		nsFactor    = flag.Float64("ns-factor", 2.0, "fail when ns/op exceeds baseline by this factor")
 		allocFactor = flag.Float64("alloc-factor", 1.5, "fail when allocs/op exceeds baseline by this factor (rounded up) plus the slack; a zero-alloc baseline must stay zero-alloc")
 		allocSlack  = flag.Int64("alloc-slack", 0, "absolute allocs/op slack added to the factor threshold")
+		allowMiss   = flag.String("allow-missing", "^("+scaleBenches+")$", "baseline entries matching this regex may be absent from the run without failing the comparison (the scale benches are baseline-only, too heavy for CI smoke)")
+		scale       = flag.Bool("scale", false, "also run the heavy scale benchmarks ("+scaleBenches+"); use when regenerating the baseline")
 	)
 	flag.Parse()
+
+	if *scale && *bench == microBenches {
+		*bench = strings.TrimSuffix(microBenches, ")$") + "|" + scaleBenches + ")$"
+	}
 
 	entries, err := runBenchmarks(*dir, *bench, *benchtime, *count)
 	if err != nil {
@@ -105,7 +117,7 @@ func main() {
 	}
 
 	if *compare != "" {
-		if failures := compareBaseline(*compare, entries, *nsFactor, *allocFactor, *allocSlack); len(failures) > 0 {
+		if failures := compareBaseline(*compare, entries, *nsFactor, *allocFactor, *allocSlack, *allowMiss); len(failures) > 0 {
 			for _, f := range failures {
 				fmt.Fprintln(os.Stderr, "REGRESSION:", f)
 			}
@@ -167,7 +179,7 @@ func printEntries(entries map[string]Entry) {
 	}
 }
 
-func compareBaseline(path string, entries map[string]Entry, nsFactor, allocFactor float64, allocSlack int64) []string {
+func compareBaseline(path string, entries map[string]Entry, nsFactor, allocFactor float64, allocSlack int64, allowMiss string) []string {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return []string{fmt.Sprintf("reading baseline: %v", err)}
@@ -175,6 +187,13 @@ func compareBaseline(path string, entries map[string]Entry, nsFactor, allocFacto
 	var base Baseline
 	if err := json.Unmarshal(data, &base); err != nil {
 		return []string{fmt.Sprintf("parsing baseline: %v", err)}
+	}
+	var missOK *regexp.Regexp
+	if allowMiss != "" {
+		missOK, err = regexp.Compile(allowMiss)
+		if err != nil {
+			return []string{fmt.Sprintf("parsing -allow-missing: %v", err)}
+		}
 	}
 	var failures []string
 	names := make([]string, 0, len(base.Benchmarks))
@@ -186,6 +205,9 @@ func compareBaseline(path string, entries map[string]Entry, nsFactor, allocFacto
 		want := base.Benchmarks[name]
 		got, ok := entries[name]
 		if !ok {
+			if missOK != nil && missOK.MatchString(name) {
+				continue
+			}
 			failures = append(failures, fmt.Sprintf("%s: present in baseline but did not run (renamed or deleted?)", name))
 			continue
 		}

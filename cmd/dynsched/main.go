@@ -349,6 +349,16 @@ func run(ctx context.Context, sc dynsched.Scenario, queueCSV string, asJSON bool
 	fmt.Printf("scenario:    %s\n", sc.Name)
 	fmt.Printf("network:     %d nodes, %d links, model=%s\n",
 		c.Graph.NumNodes(), c.Graph.NumLinks(), c.Model.Name())
+	if d := c.Diagnostics; d != nil {
+		line := fmt.Sprintf("model table: backing=%s (dense threshold %d links)", d.Backing, d.DenseMaxLinks)
+		if d.FarFloor > 0 {
+			line += fmt.Sprintf("  far-field floor ε=%g", d.FarFloor)
+		}
+		if d.CellSize > 0 {
+			line += fmt.Sprintf("  cell=%g", d.CellSize)
+		}
+		fmt.Println(line)
+	}
 	fmt.Printf("protocol:    %s  frame T=%d  J=%d  main=%d  cleanup=%d  δmax=%d\n",
 		c.Protocol.Name(), s.T, s.J, s.MainBudget, s.CleanupBudget, s.DelayMax)
 	fmt.Printf("injection:   %s  λ=%.4f\n", c.Process.Name(), c.Process.Rate())

@@ -1,5 +1,5 @@
 // Command experiments reproduces the paper's results: it runs the
-// experiment suite E1–E14 (see DESIGN.md for the index) and prints one
+// experiment suite E1–E15 (see DESIGN.md for the index) and prints one
 // table per experiment. Use -markdown to emit the EXPERIMENTS.md body.
 // -parallel N fans independent experiments across N workers; the tables
 // are bit-identical to a serial run at the same seed.

@@ -38,6 +38,30 @@ type Options struct {
 	// DisableDelays turns off the adversarial random initial delays
 	// (Section 5 ablation).
 	DisableDelays bool `json:"disableDelays"`
+
+	// Generator configures the "generator" topology: a seeded procedural
+	// sender placement (uniform, cluster, grid). Gen.Links falls back to
+	// Links and Gen.Seed to Seed when zero.
+	Gen Generator `json:"generator"`
+
+	// SINR model storage knobs (ignored by non-SINR models). Backing is
+	// "", auto, dense, csr, or indexed; DenseMaxLinks moves the
+	// dense-vs-CSR auto threshold (0 = built-in default); FarFloor and
+	// CellSize tune the indexed backing's far-field contribution floor ε
+	// and spatial cell size.
+	Backing       string  `json:"backing"`
+	DenseMaxLinks int     `json:"denseMaxLinks"`
+	FarFloor      float64 `json:"farFloor"`
+	CellSize      float64 `json:"cellSize"`
+}
+
+// ModelDiag records which interference-table backing a built workload
+// resolved to — surfaced as run diagnostics by the scenario layer.
+type ModelDiag struct {
+	Backing       string  `json:"backing"`
+	DenseMaxLinks int     `json:"denseMaxLinks"`
+	FarFloor      float64 `json:"farFloor,omitempty"`
+	CellSize      float64 `json:"cellSize,omitempty"`
 }
 
 // Workload is the assembled simulation input.
@@ -48,11 +72,13 @@ type Workload struct {
 	M        int
 	Protocol *core.Protocol
 	Process  inject.Process
+	// Diag is the SINR table-backing record (nil for non-SINR models).
+	Diag *ModelDiag
 }
 
 // Build assembles the workload from the options.
 func Build(o Options) (*Workload, error) {
-	g, model, paths, m, hops, err := buildNetwork(o)
+	g, model, diag, paths, m, hops, err := buildNetwork(o)
 	if err != nil {
 		return nil, err
 	}
@@ -99,10 +125,24 @@ func Build(o Options) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Workload{Graph: g, Model: model, Paths: paths, M: m, Protocol: proto, Process: proc}, nil
+	return &Workload{Graph: g, Model: model, Paths: paths, M: m, Protocol: proto, Process: proc, Diag: diag}, nil
 }
 
-func buildNetwork(o Options) (*netgraph.Graph, interference.Model, []netgraph.Path, int, int, error) {
+// modelOptions resolves the SINR storage knobs into a sinr.Options.
+func modelOptions(o Options) (sinr.Options, error) {
+	backing, err := sinr.ParseBacking(o.Backing)
+	if err != nil {
+		return sinr.Options{}, err
+	}
+	return sinr.Options{
+		Backing:       backing,
+		DenseMaxLinks: o.DenseMaxLinks,
+		FarFloor:      o.FarFloor,
+		CellSize:      o.CellSize,
+	}, nil
+}
+
+func buildNetwork(o Options) (*netgraph.Graph, interference.Model, *ModelDiag, []netgraph.Path, int, int, error) {
 	rng := rand.New(rand.NewSource(o.Seed))
 	topology := o.Topology
 	if topology == "" || topology == "auto" {
@@ -131,7 +171,7 @@ func buildNetwork(o Options) (*netgraph.Graph, interference.Model, []netgraph.Pa
 		}
 		p, ok := netgraph.ShortestPath(g, 0, netgraph.NodeID(hops))
 		if !ok {
-			return nil, nil, nil, 0, 0, fmt.Errorf("no %d-hop path on line", hops)
+			return nil, nil, nil, nil, 0, 0, fmt.Errorf("no %d-hop path on line", hops)
 		}
 		paths = []netgraph.Path{p}
 	case "grid":
@@ -154,7 +194,7 @@ func buildNetwork(o Options) (*netgraph.Graph, interference.Model, []netgraph.Pa
 		for v := netgraph.NodeID(1); int(v) < g.NumNodes(); v++ {
 			p, ok := rt.Path(v, 0)
 			if !ok {
-				return nil, nil, nil, 0, 0, fmt.Errorf("grid node %d cannot reach the sink", v)
+				return nil, nil, nil, nil, 0, 0, fmt.Errorf("grid node %d cannot reach the sink", v)
 			}
 			paths = append(paths, p)
 			if len(p) > effHops {
@@ -176,21 +216,39 @@ func buildNetwork(o Options) (*netgraph.Graph, interference.Model, []netgraph.Pa
 		for e := 0; e < g.NumLinks(); e++ {
 			paths = append(paths, netgraph.Path{netgraph.LinkID(e)})
 		}
+	case "generator":
+		gen := o.Gen
+		if gen.Links == 0 {
+			gen.Links = o.Links
+		}
+		var err error
+		g, err = gen.Build(o.Seed)
+		if err != nil {
+			return nil, nil, nil, nil, 0, 0, err
+		}
+		for e := 0; e < g.NumLinks(); e++ {
+			paths = append(paths, netgraph.Path{netgraph.LinkID(e)})
+		}
 	default:
-		return nil, nil, nil, 0, 0, fmt.Errorf("unknown topology %q", topology)
+		return nil, nil, nil, nil, 0, 0, fmt.Errorf("unknown topology %q", topology)
 	}
 	if len(paths) == 0 {
-		return nil, nil, nil, 0, 0, fmt.Errorf("topology %q produced no paths", topology)
+		return nil, nil, nil, nil, 0, 0, fmt.Errorf("topology %q produced no paths", topology)
 	}
 
 	inst := netgraph.NewInstance(g, effHops)
 	var model interference.Model
+	var diag *ModelDiag
 	switch o.Model {
 	case "identity":
 		model = interference.Identity{Links: g.NumLinks()}
 	case "mac":
 		model = interference.AllOnes{Links: g.NumLinks()}
 	case "sinr-linear", "sinr-uniform":
+		opt, err := modelOptions(o)
+		if err != nil {
+			return nil, nil, nil, nil, 0, 0, err
+		}
 		prm := sinr.DefaultParams()
 		kind, wk := sinr.PowerLinear, sinr.WeightAffectance
 		if o.Model == "sinr-uniform" {
@@ -198,24 +256,40 @@ func buildNetwork(o Options) (*netgraph.Graph, interference.Model, []netgraph.Pa
 		}
 		powers, err := sinr.Powers(g, prm, kind, 1)
 		if err != nil {
-			return nil, nil, nil, 0, 0, err
+			return nil, nil, nil, nil, 0, 0, err
 		}
 		prm.Noise = sinr.MaxNoise(g, prm, powers, 0.5)
-		fp, err := sinr.NewFixedPower(g, prm, powers, wk)
+		fp, err := sinr.NewFixedPowerOpts(g, prm, powers, wk, opt)
 		if err != nil {
-			return nil, nil, nil, 0, 0, err
+			return nil, nil, nil, nil, 0, 0, err
 		}
 		model = fp
+		diag = tableDiag(fp.Table())
 	case "sinr-power-control":
-		pc, err := sinr.NewPowerControl(g, sinr.DefaultParams())
+		opt, err := modelOptions(o)
 		if err != nil {
-			return nil, nil, nil, 0, 0, err
+			return nil, nil, nil, nil, 0, 0, err
+		}
+		pc, err := sinr.NewPowerControlOpts(g, sinr.DefaultParams(), opt)
+		if err != nil {
+			return nil, nil, nil, nil, 0, 0, err
 		}
 		model = pc
+		diag = tableDiag(pc.Table())
 	default:
-		return nil, nil, nil, 0, 0, fmt.Errorf("unknown model %q", o.Model)
+		return nil, nil, nil, nil, 0, 0, fmt.Errorf("unknown model %q", o.Model)
 	}
-	return g, model, paths, inst.M(), effHops, nil
+	return g, model, diag, paths, inst.M(), effHops, nil
+}
+
+// tableDiag converts a model's TableInfo into the diagnostics record.
+func tableDiag(ti sinr.TableInfo) *ModelDiag {
+	return &ModelDiag{
+		Backing:       ti.Backing,
+		DenseMaxLinks: ti.DenseMaxLinks,
+		FarFloor:      ti.FarFloor,
+		CellSize:      ti.CellSize,
+	}
 }
 
 // PickAlgorithm resolves an algorithm name; "auto" chooses per model.

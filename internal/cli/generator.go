@@ -1,0 +1,126 @@
+package cli
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dynsched/internal/geom"
+	"dynsched/internal/netgraph"
+)
+
+// Generator describes a seeded procedural sender→receiver network: a
+// spatial placement process for the senders plus the shared link
+// geometry (receiver at a uniform angle, length uniform in
+// [MinLen, MaxLen]). The zero values of every knob except Kind and
+// Links resolve to documented defaults, so a spec stays canonical —
+// and its hash stable — while defaults evolve behind it.
+type Generator struct {
+	// Kind is the sender placement process: uniform, cluster, or grid.
+	Kind string
+	// Links is the number of sender→receiver pairs.
+	Links int
+	// Side is the placement square's side (0 = 10·√Links + 10, the
+	// density the pairs topology uses at every size).
+	Side float64
+	// Clusters is the number of cluster centres (cluster kind;
+	// 0 = max(1, Links/256)).
+	Clusters int
+	// Spread is the Gaussian spread of senders around their centre
+	// (cluster kind; 0 = Side/16).
+	Spread float64
+	// MinLen and MaxLen bound the link length (0, 0 = 1, 4).
+	MinLen, MaxLen float64
+	// Seed drives the placement; 0 falls back to the workload seed.
+	Seed int64
+}
+
+// withDefaults resolves the zero knobs against the fallback seed.
+func (gen Generator) withDefaults(seed int64) Generator {
+	if gen.Side == 0 {
+		gen.Side = 10*math.Sqrt(float64(gen.Links)) + 10
+	}
+	if gen.Clusters == 0 {
+		gen.Clusters = gen.Links / 256
+		if gen.Clusters < 1 {
+			gen.Clusters = 1
+		}
+	}
+	if gen.Spread == 0 {
+		gen.Spread = gen.Side / 16
+	}
+	if gen.MinLen == 0 && gen.MaxLen == 0 {
+		gen.MinLen, gen.MaxLen = 1, 4
+	}
+	if gen.Seed == 0 {
+		gen.Seed = seed
+	}
+	return gen
+}
+
+// Validate rejects malformed generator specs with a descriptive error.
+func (gen Generator) Validate() error {
+	switch gen.Kind {
+	case "uniform", "cluster", "grid":
+	default:
+		return fmt.Errorf("unknown generator kind %q (want uniform, cluster, or grid)", gen.Kind)
+	}
+	if gen.Links <= 0 {
+		return fmt.Errorf("generator needs a positive link count, got %d", gen.Links)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"side", gen.Side}, {"spread", gen.Spread}, {"minLen", gen.MinLen}, {"maxLen", gen.MaxLen}} {
+		if math.IsNaN(p.v) || math.IsInf(p.v, 0) || p.v < 0 {
+			return fmt.Errorf("generator %s is %v (must be finite and non-negative)", p.name, p.v)
+		}
+	}
+	if gen.Clusters < 0 {
+		return fmt.Errorf("generator clusters is %d (must be non-negative)", gen.Clusters)
+	}
+	if gen.MinLen > 0 && gen.MaxLen > 0 && gen.MinLen > gen.MaxLen {
+		return fmt.Errorf("generator minLen %v exceeds maxLen %v", gen.MinLen, gen.MaxLen)
+	}
+	return nil
+}
+
+// Build materialises the generator into a position-backed pairs graph.
+// The same spec and fallback seed always produce the identical graph:
+// every random draw comes from one seeded source in a fixed order.
+func (gen Generator) Build(seed int64) (*netgraph.Graph, error) {
+	if err := gen.Validate(); err != nil {
+		return nil, err
+	}
+	gen = gen.withDefaults(seed)
+	rng := rand.New(rand.NewSource(gen.Seed))
+	n := gen.Links
+	var senders []geom.Point
+	switch gen.Kind {
+	case "uniform":
+		senders = geom.Uniform(rng, n, gen.Side)
+	case "cluster":
+		centres := geom.Uniform(rng, gen.Clusters, gen.Side)
+		senders = make([]geom.Point, n)
+		for i := range senders {
+			c := centres[rng.Intn(len(centres))]
+			senders[i] = geom.Point{
+				X: c.X + rng.NormFloat64()*gen.Spread,
+				Y: c.Y + rng.NormFloat64()*gen.Spread,
+			}
+		}
+	case "grid":
+		// Row-major cell centres of the smallest square grid holding n
+		// senders; the trailing cells of the last row stay empty.
+		k := int(math.Ceil(math.Sqrt(float64(n))))
+		spacing := gen.Side / float64(k)
+		senders = make([]geom.Point, n)
+		for i := range senders {
+			senders[i] = geom.Point{
+				X: (float64(i%k) + 0.5) * spacing,
+				Y: (float64(i/k) + 0.5) * spacing,
+			}
+		}
+	}
+	return netgraph.PairsAt(rng, senders, gen.MinLen, gen.MaxLen), nil
+}

@@ -1,4 +1,4 @@
-// Package experiments contains one runner per paper claim (E1–E14 in
+// Package experiments contains one runner per paper claim (E1–E15 in
 // DESIGN.md). Each runner builds its workload, executes the relevant
 // protocols or algorithms, and returns a Table whose rows mirror what
 // the paper's theorems predict — schedule-length scaling, stability
@@ -164,6 +164,7 @@ func All() []Runner {
 		{ID: "E12", Name: "radio-network model", Run: E12Radio},
 		{ID: "E13", Name: "fading vs general metrics", Run: E13Metrics},
 		{ID: "E14", Name: "baseline comparison", Run: E14Baselines},
+		{ID: "E15", Name: "spatial-index scale", Run: E15SpatialScale},
 	}
 }
 

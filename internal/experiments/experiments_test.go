@@ -41,8 +41,8 @@ func cell(t *testing.T, tbl *Table, row, col int) float64 {
 
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("registered %d experiments, want 14", len(all))
+	if len(all) != 15 {
+		t.Fatalf("registered %d experiments, want 15", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {
@@ -356,5 +356,39 @@ func TestE14ShapeBaselines(t *testing.T) {
 	}
 	if row := find("pairs", "max-weight"); row[5] != "stable" {
 		t.Errorf("max-weight unstable on SINR:\n%s", tbl.Format())
+	}
+}
+
+func TestE15ShapeSpatialScale(t *testing.T) {
+	tbl := runQuick(t, "E15")
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("want 2 size rows at Quick scale, got %d:\n%s", len(tbl.Rows), tbl.Format())
+	}
+	// Columns: 0 links, 1 active k, 2 near/tx, 3 flat terms/tx,
+	// 4 work ratio, 5 success rate, 6 agree. Quick sizes are all small
+	// enough for the exact comparator, so the agreement check must have
+	// run everywhere; any disagreement is an error from the runner
+	// itself.
+	var near []float64
+	for i, row := range tbl.Rows {
+		n := cell(t, tbl, i, 2)
+		if n <= 0 {
+			t.Errorf("n=%s: near/tx = %v:\n%s", row[0], n, tbl.Format())
+		}
+		near = append(near, n)
+		if flat := cell(t, tbl, i, 3); n > flat {
+			t.Errorf("n=%s: exact-summation set %v exceeds the flat cost %v:\n%s", row[0], n, flat, tbl.Format())
+		}
+		if succ := cell(t, tbl, i, 5); succ <= 0 {
+			t.Errorf("n=%s: success rate %v:\n%s", row[0], succ, tbl.Format())
+		}
+		if row[6] != "true" {
+			t.Errorf("n=%s: agreement column = %q:\n%s", row[0], row[6], tbl.Format())
+		}
+	}
+	// The tentpole claim: the exact-summation set tracks local density,
+	// so quadrupling n (and k with it) must not quadruple near/tx.
+	if last, first := near[len(near)-1], near[0]; last > 2.5*first {
+		t.Errorf("near/tx grew %v → %v with n — not density-bound:\n%s", first, last, tbl.Format())
 	}
 }

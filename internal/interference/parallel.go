@@ -83,3 +83,51 @@ func SparseFromWeightsParallel(n int, weight func(e, e2 int) float64) *Sparse {
 	}
 	return s
 }
+
+// SparseFromRowsParallel assembles a CSR matrix from a per-row emitter:
+// row(e, emit) must call emit(col, v) with strictly ascending columns,
+// and zero values are dropped (CSR lookups return the same exact 0).
+// It is the construction path for rows whose support is discovered by a
+// spatial query rather than an O(n) scan — the emitter only visits the
+// candidates near row e, so assembly costs O(nnz), not O(n²). Rows are
+// fanned out across GOMAXPROCS goroutines and stitched in row order, so
+// the result is bit-identical to the serial emission.
+func SparseFromRowsParallel(n int, row func(e int, emit func(col int32, v float64))) *Sparse {
+	type rowData struct {
+		cols []int32
+		vals []float64
+	}
+	rows := make([]rowData, n)
+	ParallelRows(n, func(e int) {
+		var rd rowData
+		prev := int32(-1)
+		row(e, func(col int32, v float64) {
+			if col <= prev {
+				panic("interference: SparseFromRowsParallel columns not strictly ascending")
+			}
+			prev = col
+			if v == 0 {
+				return
+			}
+			rd.cols = append(rd.cols, col)
+			rd.vals = append(rd.vals, v)
+		})
+		rows[e] = rd
+	})
+	nnz := 0
+	for e := range rows {
+		nnz += len(rows[e].cols)
+	}
+	s := &Sparse{
+		n:      n,
+		rowPtr: make([]int32, n+1),
+		cols:   make([]int32, 0, nnz),
+		vals:   make([]float64, 0, nnz),
+	}
+	for e := 0; e < n; e++ {
+		s.cols = append(s.cols, rows[e].cols...)
+		s.vals = append(s.vals, rows[e].vals...)
+		s.rowPtr[e+1] = int32(len(s.cols))
+	}
+	return s
+}

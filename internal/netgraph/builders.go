@@ -90,6 +90,34 @@ func RandomPairs(rng *rand.Rand, n int, side, minLen, maxLen float64) *Graph {
 	return g
 }
 
+// PairsAt builds disjoint sender→receiver links from explicit sender
+// positions: each receiver sits at a uniform angle and a length uniform
+// in [minLen, maxLen] from its sender, drawn from rng in sender order.
+// It is RandomPairs with the sender placement factored out, so
+// procedural generators (clustered, gridded, …) can supply their own
+// spatial processes and still share the link geometry.
+func PairsAt(rng *rand.Rand, senders []geom.Point, minLen, maxLen float64) *Graph {
+	if maxLen < minLen {
+		minLen, maxLen = maxLen, minLen
+	}
+	n := len(senders)
+	g := New(2 * n)
+	pts := make([]geom.Point, 2*n)
+	for i, s := range senders {
+		length := minLen + rng.Float64()*(maxLen-minLen)
+		angle := rng.Float64() * 2 * 3.141592653589793
+		r := geom.Point{X: s.X + length*cos(angle), Y: s.Y + length*sin(angle)}
+		pts[2*i], pts[2*i+1] = s, r
+	}
+	if err := g.SetPositions(pts); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddLink(NodeID(2*i), NodeID(2*i+1))
+	}
+	return g
+}
+
 // NestedChain builds n collinear sender→receiver pairs with
 // exponentially growing lengths: link i has length growth^i and starts
 // one unit after the previous link ends. This is the classic hard

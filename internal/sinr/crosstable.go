@@ -35,8 +35,23 @@ type crossTable struct {
 // verbatim (including ±Inf and sentinel values), so later lookups are
 // bit-identical to calling entry directly.
 func buildCrossTable(n int, entry func(at, src int) float64) *crossTable {
+	return buildCrossTableOpts(n, Options{}, entry)
+}
+
+// buildCrossTableOpts is buildCrossTable with the backing decided by
+// model options: BackDense and BackCSR force their storage, BackAuto
+// switches on the (possibly overridden) dense cap. Every backing stores
+// the same entry values, so lookups are bit-identical across all three.
+func buildCrossTableOpts(n int, opt Options, entry func(at, src int) float64) *crossTable {
 	t := &crossTable{n: n}
-	if n <= crossDenseMaxLinks {
+	dense := n <= opt.denseMax()
+	switch opt.Backing {
+	case BackDense:
+		dense = true
+	case BackCSR:
+		dense = false
+	}
+	if dense {
 		t.dense = make([]float64, n*n)
 		interference.ParallelRows(n, func(at int) {
 			row := t.dense[at*n : (at+1)*n]

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"dynsched/internal/geom"
 	"dynsched/internal/interference"
 	"dynsched/internal/netgraph"
 )
@@ -33,6 +34,8 @@ type FixedPower struct {
 	prm    Params
 	powers []float64
 	kind   WeightKind
+	opts   Options
+	info   TableInfo
 
 	// Cached per-link quantities.
 	lens    []float64 // link lengths
@@ -41,15 +44,39 @@ type FixedPower struct {
 	// transmission on e2 lands at e's receiver. Precomputed once so the
 	// per-slot SINR test is a flat table sum with no math.Pow calls;
 	// d(s', r) = 0 stores +Inf, exactly the value the division yields.
+	// Nil under the indexed backing, which computes gains on demand.
 	gain *crossTable
-	w    [][]float64
-	rows *interference.Sparse
-	name string
 
-	// scratch pools ResolverScratch values for the Successes slow path.
-	// The model may be shared across replication goroutines, so the
-	// scratch cannot live on the struct directly.
+	// Indexed-backing state: sender/receiver positions per link and the
+	// largest transmission power (the radius bound of the contribution
+	// floor).
+	sendPos []geom.Point
+	recvPos []geom.Point
+	pmax    float64
+
+	// The analysis matrix. Table backings build it eagerly (the
+	// historical behavior); the indexed backing builds it on first use —
+	// exactly at ε = 0, floor-sparse through the spatial index at ε > 0
+	// — so pure slot-resolution workloads never pay for it.
+	weightsOnce sync.Once
+	w           [][]float64
+	rows        *interference.Sparse
+	name        string
+
+	// scratch pools fpScratch values for the Successes slow path. The
+	// model may be shared across replication goroutines, so the scratch
+	// cannot live on the struct directly.
 	scratch sync.Pool
+}
+
+// fpScratch is the per-resolver buffer set: slot counting plus, under
+// the indexed backing, the per-slot spatial grid and its id/ring
+// buffers.
+type fpScratch struct {
+	rs   *interference.ResolverScratch
+	grid geom.GridIndex
+	sel  []int32
+	ring []int32
 }
 
 var (
@@ -58,13 +85,25 @@ var (
 	_ interference.SlotResolver = (*FixedPower)(nil)
 )
 
-// NewFixedPower builds a fixed-power SINR model. The graph must carry
-// node positions and powers must have one positive entry per link.
-// Construction precomputes the cross-gain table and both weight
-// matrices, fanning the O(n²) work across GOMAXPROCS goroutines; the
-// results are bit-identical to the serial per-pair evaluation.
+// NewFixedPower builds a fixed-power SINR model with default options.
+// The graph must carry node positions and powers must have one positive
+// entry per link. Construction precomputes the cross-gain table and both
+// weight matrices, fanning the O(n²) work across GOMAXPROCS goroutines;
+// the results are bit-identical to the serial per-pair evaluation.
 func NewFixedPower(g *netgraph.Graph, prm Params, powers []float64, kind WeightKind) (*FixedPower, error) {
+	return NewFixedPowerOpts(g, prm, powers, kind, Options{})
+}
+
+// NewFixedPowerOpts is NewFixedPower with explicit storage options. The
+// indexed backing (BackIndexed) requires planar positions: it stores no
+// cross table at all — O(n) memory — and resolves slots through a
+// spatial grid, bit-identical to the table backings at FarFloor = 0 and
+// within the documented far-field envelope otherwise.
+func NewFixedPowerOpts(g *netgraph.Graph, prm Params, powers []float64, kind WeightKind, opt Options) (*FixedPower, error) {
 	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	if !g.HasDistances() {
@@ -81,8 +120,10 @@ func NewFixedPower(g *netgraph.Graph, prm Params, powers []float64, kind WeightK
 		prm:    prm,
 		powers: append([]float64(nil), powers...),
 		kind:   kind,
+		opts:   opt,
 	}
 	n := g.NumLinks()
+	m.info = opt.tableInfo(n)
 	m.lens = make([]float64, n)
 	m.signals = make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -92,17 +133,47 @@ func NewFixedPower(g *netgraph.Graph, prm Params, powers []float64, kind WeightK
 		}
 		m.lens[i] = g.LinkDist(netgraph.LinkID(i))
 		m.signals[i] = p / math.Pow(m.lens[i], prm.Alpha)
+		if p > m.pmax {
+			m.pmax = p
+		}
 	}
-	m.gain = buildCrossTable(n, func(at, src int) float64 {
-		recv := g.Link(netgraph.LinkID(at)).To
-		d := g.NodeDist(g.Link(netgraph.LinkID(src)).From, recv)
-		// d == 0 divides to +Inf — the sentinel the SINR test expects.
-		return m.powers[src] / math.Pow(d, prm.Alpha)
-	})
-	m.buildWeights()
+	if opt.Backing == BackIndexed {
+		if err := m.initSpatial(); err != nil {
+			return nil, err
+		}
+	} else {
+		m.gain = buildCrossTableOpts(n, opt, func(at, src int) float64 {
+			recv := g.Link(netgraph.LinkID(at)).To
+			d := g.NodeDist(g.Link(netgraph.LinkID(src)).From, recv)
+			// d == 0 divides to +Inf — the sentinel the SINR test expects.
+			return m.powers[src] / math.Pow(d, prm.Alpha)
+		})
+		m.ensureWeights()
+	}
 	m.name = fmt.Sprintf("sinr-fixed(%s)", kindName(kind))
-	m.scratch.New = func() any { return interference.NewResolverScratch(n) }
+	m.scratch.New = func() any {
+		return &fpScratch{rs: interference.NewResolverScratch(n)}
+	}
 	return m, nil
+}
+
+// initSpatial caches per-link endpoint positions for the indexed
+// backing. Positions (not a metric override) are required: the spatial
+// grid prunes by planar distance, so the interference formula must read
+// the same geometry.
+func (m *FixedPower) initSpatial() error {
+	if !m.g.HasPositions() || m.g.HasMetric() {
+		return fmt.Errorf("sinr: the indexed backing requires planar node positions (no metric override)")
+	}
+	n := m.g.NumLinks()
+	m.sendPos = make([]geom.Point, n)
+	m.recvPos = make([]geom.Point, n)
+	for e := 0; e < n; e++ {
+		l := m.g.Link(netgraph.LinkID(e))
+		m.sendPos[e] = m.g.Pos(l.From)
+		m.recvPos[e] = m.g.Pos(l.To)
+	}
+	return nil
 }
 
 func kindName(k WeightKind) string {
@@ -127,11 +198,36 @@ func affectanceFromGain(gain, signal, betaNoise, beta float64) float64 {
 	return math.Min(1, beta*gain/margin)
 }
 
-// buildWeights derives the analysis matrix from the gain table — no
-// math.Pow calls remain — and extracts its CSR form, both parallelized
-// across rows. Entry for entry the result matches the Affectance-based
+// gainAt returns the cross gain p(src)/d(s_src, r_at)^α: a table read
+// when a table exists, otherwise the same formula evaluated on demand —
+// the operations match the table build exactly, so both paths are
+// bit-identical.
+func (m *FixedPower) gainAt(at, src int) float64 {
+	if m.gain != nil {
+		return m.gain.at(at, src)
+	}
+	return m.powers[src] / math.Pow(m.sendPos[src].Dist(m.recvPos[at]), m.prm.Alpha)
+}
+
+// ensureWeights builds the analysis matrix on first use. Table backings
+// call it at construction; the indexed backing defers it so pure
+// slot-resolution workloads at large n never materialise W.
+func (m *FixedPower) ensureWeights() {
+	m.weightsOnce.Do(func() {
+		if m.opts.Backing == BackIndexed && m.opts.FarFloor > 0 {
+			m.buildWeightsFloorSparse()
+			return
+		}
+		m.buildWeightsExact()
+	})
+}
+
+// buildWeightsExact derives the analysis matrix entry for entry — via
+// the gain table when one exists, via the identical on-demand formula
+// under the indexed backing — and extracts its CSR form, both
+// parallelized across rows. The result matches the Affectance-based
 // construction bit for bit (same operations on the same values).
-func (m *FixedPower) buildWeights() {
+func (m *FixedPower) buildWeightsExact() {
 	n := m.g.NumLinks()
 	m.w = make([][]float64, n)
 	betaNoise := m.prm.Beta * m.prm.Noise
@@ -144,12 +240,12 @@ func (m *FixedPower) buildWeights() {
 			}
 			switch m.kind {
 			case WeightAffectance:
-				row[e2] = affectanceFromGain(m.gain.at(e, e2), m.signals[e], betaNoise, m.prm.Beta)
+				row[e2] = affectanceFromGain(m.gainAt(e, e2), m.signals[e], betaNoise, m.prm.Beta)
 			case WeightMonotone:
 				// Interference is charged to the shorter link only.
 				if m.lens[e] <= m.lens[e2] {
-					a1 := affectanceFromGain(m.gain.at(e2, e), m.signals[e2], betaNoise, m.prm.Beta)
-					a2 := affectanceFromGain(m.gain.at(e, e2), m.signals[e], betaNoise, m.prm.Beta)
+					a1 := affectanceFromGain(m.gainAt(e2, e), m.signals[e2], betaNoise, m.prm.Beta)
+					a2 := affectanceFromGain(m.gainAt(e, e2), m.signals[e], betaNoise, m.prm.Beta)
 					row[e2] = math.Max(a1, a2)
 				}
 			}
@@ -163,7 +259,10 @@ func (m *FixedPower) buildWeights() {
 // assignments roughly half the matrix is structurally zero; for
 // affectance matrices the CSR form still wins by replacing dynamic
 // Weight calls with flat array scans.
-func (m *FixedPower) WeightRows() *interference.Sparse { return m.rows }
+func (m *FixedPower) WeightRows() *interference.Sparse {
+	m.ensureWeights()
+	return m.rows
+}
 
 // Name implements interference.Model.
 func (m *FixedPower) Name() string { return m.name }
@@ -172,7 +271,17 @@ func (m *FixedPower) Name() string { return m.name }
 func (m *FixedPower) NumLinks() int { return m.g.NumLinks() }
 
 // Weight implements interference.Model.
-func (m *FixedPower) Weight(e, e2 int) float64 { return m.w[e][e2] }
+func (m *FixedPower) Weight(e, e2 int) float64 {
+	m.ensureWeights()
+	if m.w != nil {
+		return m.w[e][e2]
+	}
+	return m.rows.At(e, e2)
+}
+
+// Table reports which backing the model resolved to and with which
+// knobs — the run-diagnostics record.
+func (m *FixedPower) Table() TableInfo { return m.info }
 
 // Graph returns the underlying communication graph.
 func (m *FixedPower) Graph() *netgraph.Graph { return m.g }
@@ -191,20 +300,30 @@ func (m *FixedPower) LinkLen(e int) float64 { return m.lens[e] }
 //
 //	p(ℓ)/d(ℓ)^α ≥ β·(Σ_{ℓ'∈S, ℓ'≠ℓ} p(ℓ')/d(s', r)^α + ν).
 //
-// The interference sum reads the precomputed gain table; counting
-// scratch comes from a pool, so the only allocation is the returned
-// slice. Hot loops should use NewResolver, which reuses that too.
+// The interference sum reads the precomputed gain table (or, under the
+// indexed backing, the spatial grid); counting scratch comes from a
+// pool, so the only allocation is the returned slice. Hot loops should
+// use NewResolver, which reuses that too.
 func (m *FixedPower) Successes(tx []int) []bool {
 	out := make([]bool, len(tx))
 	if len(tx) == 0 {
 		return out
 	}
-	s := m.scratch.Get().(*interference.ResolverScratch)
-	s.Count(tx)
-	m.fillSuccesses(s, tx, out)
-	s.End(tx)
-	m.scratch.Put(s)
+	sc := m.scratch.Get().(*fpScratch)
+	sc.rs.Count(tx)
+	m.dispatchSuccesses(sc, tx, out)
+	sc.rs.End(tx)
+	m.scratch.Put(sc)
 	return out
+}
+
+// dispatchSuccesses routes a counted slot to the backing's fill path.
+func (m *FixedPower) dispatchSuccesses(sc *fpScratch, tx []int, out []bool) {
+	if m.opts.Backing == BackIndexed {
+		m.fillSuccessesIndexed(sc, tx, out)
+		return
+	}
+	m.fillSuccesses(sc.rs, tx, out)
 }
 
 // fillSuccesses resolves one counted slot into out. Distinct links are
@@ -250,16 +369,137 @@ func (m *FixedPower) fillSuccesses(s *interference.ResolverScratch, tx []int, ou
 	}
 }
 
+// fillSuccessesIndexed resolves one counted slot through the spatial
+// index. At FarFloor = 0 the interference sum visits every distinct
+// transmitting link in ascending order with the exact table-build
+// formula — bit-identical to the table paths. At FarFloor = ε > 0 the
+// per-slot grid over the transmitting senders is ring-expanded around
+// each receiver: interferers in cells within the contribution-floor
+// radius are summed exactly, farther cells are charged their aggregate
+// power over their box distance, and the unvisited remainder is closed
+// with geom.FarFieldBound once it drops below the ε budget. The
+// resulting estimate Î = near + tail always satisfies Î ≥ I_true, so
+// reported successes are true SINR successes.
+func (m *FixedPower) fillSuccessesIndexed(sc *fpScratch, tx []int, out []bool) {
+	s := sc.rs
+	sort.Ints(s.Uniq)
+	alpha, beta := m.prm.Alpha, m.prm.Beta
+	if m.opts.FarFloor == 0 {
+		for i, e := range tx {
+			if s.Counts[e] != 1 {
+				continue
+			}
+			interf := m.prm.Noise
+			recv := m.recvPos[e]
+			for _, e2 := range s.Uniq {
+				if e2 != e {
+					interf += m.powers[e2] / math.Pow(m.sendPos[e2].Dist(recv), alpha)
+				}
+			}
+			out[i] = m.signals[e] >= beta*interf
+		}
+		return
+	}
+	sel := sc.sel[:0]
+	ptotal := 0.0
+	for _, e := range s.Uniq {
+		sel = append(sel, int32(e))
+		ptotal += m.powers[e]
+	}
+	sc.sel = sel
+	sc.grid.Fill(m.sendPos, sel, m.powers, m.opts.CellSize)
+	for i, e := range tx {
+		if s.Counts[e] != 1 {
+			continue
+		}
+		near, tail := m.indexedInterference(sc, e, ptotal)
+		out[i] = m.signals[e] >= beta*(near+tail)
+	}
+}
+
+// indexedInterference computes the spatially-indexed interference
+// estimate at link e's receiver against the slot grid in sc: near is the
+// noise plus the exactly-summed contribution of every interferer in
+// cells within the contribution-floor radius, tail the rigorous upper
+// bound on everything else (per-cell aggregates plus the far-field
+// remainder). ptotal is the total transmitting power in the grid.
+//
+// Soundness: near + tail ≥ I_true always — each aggregated cell is
+// charged its full power at its closest box point, and the remainder is
+// charged at the closest unvisited cell distance (geom.FarFieldBound).
+// Accuracy: every interferer whose individual affectance on e reaches
+// the floor ε lies within the exact radius, so the per-term error of
+// the estimate is below ε·signal/β, and the remainder term alone is
+// below that same budget. Per-slot cost is the number of cells and
+// points within the stop radius — local density, not n.
+func (m *FixedPower) indexedInterference(sc *fpScratch, e int, ptotal float64) (near, tail float64) {
+	alpha, beta := m.prm.Alpha, m.prm.Beta
+	grid := &sc.grid
+	q := m.recvPos[e]
+	near = m.prm.Noise
+	budget := m.opts.FarFloor * m.signals[e] / beta
+	// A single interferer at distance d contributes p/d^α ≥ budget only
+	// when d^α ≤ pmax/budget: cells beyond that radius hold only
+	// below-floor interferers and may be aggregated.
+	rex2 := math.Pow(m.pmax/budget, 2/alpha)
+	cx, cy := grid.CellAt(q)
+	visited := 0.0
+	maxRing := grid.MaxRing(cx, cy)
+	ring := sc.ring
+	for r := 0; r <= maxRing; r++ {
+		var cont bool
+		ring, cont = grid.RingCells(cx, cy, r, ring[:0])
+		for _, ci := range ring {
+			w := grid.CellWeightAt(ci)
+			if w == 0 {
+				continue
+			}
+			visited += w
+			d2 := grid.CellMinDistSqAt(q, ci)
+			if d2 <= rex2 {
+				for _, id := range grid.CellIDsAt(ci) {
+					e2 := int(id)
+					if e2 == e {
+						continue
+					}
+					near += m.powers[e2] / math.Pow(m.sendPos[e2].Dist(q), alpha)
+				}
+			} else {
+				tail += w / math.Pow(d2, alpha/2)
+			}
+		}
+		if !cont {
+			break
+		}
+		rem := ptotal - visited
+		if rem <= 0 {
+			break
+		}
+		od, ok := grid.OuterDist(q, cx, cy, r)
+		if !ok {
+			break
+		}
+		if b := geom.FarFieldBound(alpha, rem, od); b <= budget {
+			tail += b
+			break
+		}
+	}
+	sc.ring = ring
+	return near, tail
+}
+
 // NewResolver implements interference.SlotResolver with the same exact
 // SINR test as Successes but every buffer reused across slots:
-// steady-state resolution performs no allocations and no math.Pow
-// calls — each interference term is one table read.
+// steady-state resolution performs no allocations and (on the table
+// backings) no math.Pow calls — each interference term is one table
+// read. The indexed backing re-buckets the transmitting senders into its
+// reusable grid each slot and computes the near terms on the fly.
 func (m *FixedPower) NewResolver() func(tx []int) []bool {
-	s := interference.NewResolverScratch(m.g.NumLinks())
+	sc := m.scratch.New().(*fpScratch)
 	return func(tx []int) []bool {
-		out := s.Begin(tx)
-		m.fillSuccesses(s, tx, out)
-		s.End(tx)
+		out := sc.rs.Begin(tx)
+		m.dispatchSuccesses(sc, tx, out)
+		sc.rs.End(tx)
 		return out
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"dynsched/internal/geom"
 	"dynsched/internal/interference"
 	"dynsched/internal/netgraph"
 )
@@ -26,6 +27,8 @@ import (
 type PowerControl struct {
 	g    *netgraph.Graph
 	prm  Params
+	opts Options
+	info TableInfo
 	lens []float64
 	// lenAlpha[e] = d(ℓ)^α, the per-link path-loss power.
 	lenAlpha []float64
@@ -33,10 +36,21 @@ type PowerControl struct {
 	// the cross distance from e2's sender to e's receiver, precomputed so
 	// the feasibility solver and the weight build never call math.Pow.
 	// A zero cross distance (co-located interferer) is stored as the -1
-	// sentinel, since Pow values are otherwise non-negative.
+	// sentinel, since Pow values are otherwise non-negative. Nil under
+	// the indexed backing, which evaluates entries on demand — the same
+	// operations, so bit-identical values.
 	cross *crossTable
-	w     [][]float64
-	rows  *interference.Sparse
+
+	// Indexed-backing state: per-link endpoint positions.
+	sendPos []geom.Point
+	recvPos []geom.Point
+
+	// The analysis matrix. Table backings build it eagerly; the indexed
+	// backing builds it on first use — exact at ε = 0, floor-sparse
+	// through the spatial index at ε > 0.
+	weightsOnce sync.Once
+	w           [][]float64
+	rows        *interference.Sparse
 
 	// maxIter and powerCap bound the fixed-point iteration.
 	maxIter  int
@@ -68,11 +82,26 @@ type pcScratch struct {
 	next   []float64
 }
 
-// NewPowerControl builds a power-control SINR model on g. The O(n²)
-// cross-distance table and weight matrix are precomputed in parallel;
-// the results are bit-identical to the serial per-pair evaluation.
+// NewPowerControl builds a power-control SINR model on g with default
+// options. The O(n²) cross-distance table and weight matrix are
+// precomputed in parallel; the results are bit-identical to the serial
+// per-pair evaluation.
 func NewPowerControl(g *netgraph.Graph, prm Params) (*PowerControl, error) {
+	return NewPowerControlOpts(g, prm, Options{})
+}
+
+// NewPowerControlOpts is NewPowerControl with explicit storage options.
+// Under the indexed backing (which requires planar positions) no cross
+// table is materialised — cross distances are evaluated on demand with
+// the identical operations, and the analysis matrix is built lazily:
+// exactly at FarFloor = 0, floor-sparse through the spatial index
+// otherwise. The physical feasibility solve is exact in every backing;
+// only the analysis matrix carries the ε envelope.
+func NewPowerControlOpts(g *netgraph.Graph, prm Params, opt Options) (*PowerControl, error) {
 	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	if !g.HasDistances() {
@@ -82,6 +111,8 @@ func NewPowerControl(g *netgraph.Graph, prm Params) (*PowerControl, error) {
 	m := &PowerControl{
 		g:        g,
 		prm:      prm,
+		opts:     opt,
+		info:     opt.tableInfo(n),
 		lens:     make([]float64, n),
 		lenAlpha: make([]float64, n),
 		maxIter:  200,
@@ -94,14 +125,27 @@ func NewPowerControl(g *netgraph.Graph, prm Params) (*PowerControl, error) {
 		}
 		m.lenAlpha[i] = math.Pow(m.lens[i], prm.Alpha)
 	}
-	m.cross = buildCrossTable(n, func(at, src int) float64 {
-		d := g.SenderReceiverDist(netgraph.LinkID(src), netgraph.LinkID(at))
-		if d == 0 {
-			return -1 // sentinel: exact zero distance, not an underflowed power
+	if opt.Backing == BackIndexed {
+		if !g.HasPositions() || g.HasMetric() {
+			return nil, fmt.Errorf("sinr: the indexed backing requires planar node positions (no metric override)")
 		}
-		return math.Pow(d, prm.Alpha)
-	})
-	m.buildWeights()
+		m.sendPos = make([]geom.Point, n)
+		m.recvPos = make([]geom.Point, n)
+		for e := 0; e < n; e++ {
+			l := g.Link(netgraph.LinkID(e))
+			m.sendPos[e] = g.Pos(l.From)
+			m.recvPos[e] = g.Pos(l.To)
+		}
+	} else {
+		m.cross = buildCrossTableOpts(n, opt, func(at, src int) float64 {
+			d := g.SenderReceiverDist(netgraph.LinkID(src), netgraph.LinkID(at))
+			if d == 0 {
+				return -1 // sentinel: exact zero distance, not an underflowed power
+			}
+			return math.Pow(d, prm.Alpha)
+		})
+		m.ensureWeights()
+	}
 	m.scratch.New = func() any {
 		return &pcScratch{
 			rs:     interference.NewResolverScratch(n),
@@ -112,10 +156,36 @@ func NewPowerControl(g *netgraph.Graph, prm Params) (*PowerControl, error) {
 	return m, nil
 }
 
-// buildWeights derives the distance-ratio matrix from the precomputed
-// tables — no math.Pow calls — fanned out across rows. Entry for entry
-// it matches the direct construction bit for bit.
-func (m *PowerControl) buildWeights() {
+// crossAt returns d(s_src, r_at)^α, or the -1 sentinel for an exactly
+// zero cross distance: a table read when a table exists, the identical
+// formula on demand under the indexed backing.
+func (m *PowerControl) crossAt(at, src int) float64 {
+	if m.cross != nil {
+		return m.cross.at(at, src)
+	}
+	d := m.sendPos[src].Dist(m.recvPos[at])
+	if d == 0 {
+		return -1
+	}
+	return math.Pow(d, m.prm.Alpha)
+}
+
+// ensureWeights builds the analysis matrix on first use.
+func (m *PowerControl) ensureWeights() {
+	m.weightsOnce.Do(func() {
+		if m.opts.Backing == BackIndexed && m.opts.FarFloor > 0 {
+			m.buildWeightsFloorSparse()
+			return
+		}
+		m.buildWeightsExact()
+	})
+}
+
+// buildWeightsExact derives the distance-ratio matrix — from the
+// precomputed tables when they exist, from the identical on-demand
+// evaluation under the indexed backing — fanned out across rows. Entry
+// for entry it matches the direct construction bit for bit.
+func (m *PowerControl) buildWeightsExact() {
 	n := m.g.NumLinks()
 	m.w = make([][]float64, n)
 	interference.ParallelRows(n, func(e int) {
@@ -129,15 +199,15 @@ func (m *PowerControl) buildWeights() {
 			if m.lens[e] > m.lens[e2] {
 				continue // charged to the shorter link only
 			}
-			// d(s, r')^α with ℓ = e, ℓ' = e2 is cross.at(e2, e); the -1
+			// d(s, r')^α with ℓ = e, ℓ' = e2 is crossAt(e2, e); the -1
 			// sentinel marks an exactly-zero cross distance.
 			v := 0.0
-			if cp := m.cross.at(e2, e); cp >= 0 {
+			if cp := m.crossAt(e2, e); cp >= 0 {
 				v += dOwn / cp
 			} else {
 				v = 1
 			}
-			if cp := m.cross.at(e, e2); cp >= 0 {
+			if cp := m.crossAt(e, e2); cp >= 0 {
 				v += dOwn / cp
 			} else {
 				v = 1
@@ -152,7 +222,10 @@ func (m *PowerControl) buildWeights() {
 }
 
 // WeightRows implements interference.RowsProvider.
-func (m *PowerControl) WeightRows() *interference.Sparse { return m.rows }
+func (m *PowerControl) WeightRows() *interference.Sparse {
+	m.ensureWeights()
+	return m.rows
+}
 
 // Name implements interference.Model.
 func (m *PowerControl) Name() string { return "sinr-power-control" }
@@ -161,7 +234,26 @@ func (m *PowerControl) Name() string { return "sinr-power-control" }
 func (m *PowerControl) NumLinks() int { return m.g.NumLinks() }
 
 // Weight implements interference.Model.
-func (m *PowerControl) Weight(e, e2 int) float64 { return m.w[e][e2] }
+func (m *PowerControl) Weight(e, e2 int) float64 {
+	m.ensureWeights()
+	if m.w != nil {
+		return m.w[e][e2]
+	}
+	return m.rows.At(e, e2)
+}
+
+// weightAt is Weight for internal hot paths that know the matrix is
+// already built.
+func (m *PowerControl) weightAt(e, e2 int) float64 {
+	if m.w != nil {
+		return m.w[e][e2]
+	}
+	return m.rows.At(e, e2)
+}
+
+// Table reports which backing the model resolved to and with which
+// knobs — the run-diagnostics record.
+func (m *PowerControl) Table() TableInfo { return m.info }
 
 // Graph returns the underlying communication graph.
 func (m *PowerControl) Graph() *netgraph.Graph { return m.g }
@@ -189,13 +281,20 @@ func (m *PowerControl) solveInto(sc *pcScratch, set []int) bool {
 	// gain[i*k+j]: normalized interference coupling from set[j]'s sender
 	// into set[i]'s receiver, scaled by set[i]'s own path loss — read
 	// straight from the precomputed tables (set is ascending, so a CSR
-	// backing gathers each row in one merge pass).
+	// backing gathers each row in one merge pass), or evaluated on
+	// demand under the indexed backing.
 	crossRow := growFloats(&sc.cross, k)
 	for i := 0; i < k; i++ {
 		lenA := m.lenAlpha[set[i]]
 		noiseTerm[i] = nu * lenA
 		row := gain[i*k : (i+1)*k]
-		m.cross.gather(set[i], set, crossRow)
+		if m.cross != nil {
+			m.cross.gather(set[i], set, crossRow)
+		} else {
+			for j, src := range set {
+				crossRow[j] = m.crossAt(set[i], src)
+			}
+		}
 		for j := 0; j < k; j++ {
 			if i == j {
 				row[j] = 0
@@ -292,6 +391,11 @@ func (m *PowerControl) fillSuccesses(sc *pcScratch, tx []int, out []bool) {
 			set = append(set, e)
 		}
 	}
+	if len(set) > 0 {
+		// Shedding consults the analysis matrix; make sure it exists
+		// before the hot loop (lazy under the indexed backing).
+		m.ensureWeights()
+	}
 	for len(set) > 0 {
 		if m.solveInto(sc, set) {
 			break
@@ -351,7 +455,7 @@ func (m *PowerControl) shedWorst(set []int) []int {
 		for _, e2 := range set {
 			if e2 != e {
 				// Use the symmetrized coupling so long links can be shed too.
-				sum += math.Max(m.w[e][e2], m.w[e2][e])
+				sum += math.Max(m.weightAt(e, e2), m.weightAt(e2, e))
 			}
 		}
 		if sum > worstVal {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package dynsched
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package dynsched
+
+// raceEnabled reports whether the race detector is compiled in; the
+// scale smoke budgets are meaningless under its slowdown.
+const raceEnabled = true

@@ -23,17 +23,44 @@ import (
 // functions of the façade. Compile validates the spec and wires the
 // runnable components; Run/Replicate/RunSweep execute it.
 
+// GeneratorSpec declares a seeded procedural sender→receiver network
+// for the "generator" topology: a spatial placement process for the
+// senders plus the link geometry. Every knob except Kind is optional —
+// zero values resolve to documented defaults at build time but stay
+// out of the canonical JSON, so a spec's hash depends only on what it
+// pins explicitly.
+type GeneratorSpec struct {
+	// Kind is the sender placement: uniform, cluster, or grid.
+	Kind string `json:"kind"`
+	// Side is the placement square's side (0 = 10·√Links + 10).
+	Side float64 `json:"side,omitempty"`
+	// Clusters is the number of cluster centres (cluster kind;
+	// 0 = max(1, Links/256)).
+	Clusters int `json:"clusters,omitempty"`
+	// Spread is the Gaussian sender spread around its centre (cluster
+	// kind; 0 = Side/16).
+	Spread float64 `json:"spread,omitempty"`
+	// MinLen and MaxLen bound the link length (0, 0 = 1, 4).
+	MinLen float64 `json:"minLen,omitempty"`
+	MaxLen float64 `json:"maxLen,omitempty"`
+	// Seed drives the placement; 0 falls back to Sim.Seed.
+	Seed int64 `json:"seed,omitempty"`
+}
+
 // NetworkSpec selects the communication graph and routes.
 type NetworkSpec struct {
 	// Topology is one of line, grid, grid-convergecast, pairs, nested,
-	// mac, or auto (pick per model).
+	// mac, generator, or auto (pick per model).
 	Topology string `json:"topology,omitempty"`
 	// Nodes sizes node-centric topologies (line, grid).
 	Nodes int `json:"nodes,omitempty"`
-	// Links sizes link-centric topologies (pairs, nested, mac).
+	// Links sizes link-centric topologies (pairs, nested, mac,
+	// generator).
 	Links int `json:"links,omitempty"`
 	// Hops is the path length for multi-hop workloads.
 	Hops int `json:"hops,omitempty"`
+	// Generator parameterises the "generator" topology.
+	Generator *GeneratorSpec `json:"generator,omitempty"`
 }
 
 // ModelSpec selects the interference model.
@@ -43,6 +70,20 @@ type ModelSpec struct {
 	Kind string `json:"kind"`
 	// Loss adds independent per-transmission loss with this probability.
 	Loss float64 `json:"loss,omitempty"`
+	// Backing selects the SINR interference-table storage: auto (default),
+	// dense, csr, or indexed (the spatial grid; requires planar
+	// positions).
+	Backing string `json:"backing,omitempty"`
+	// DenseMax moves the dense-vs-CSR auto threshold (0 = built-in
+	// default).
+	DenseMax int `json:"denseMax,omitempty"`
+	// FarFloor is the indexed backing's far-field contribution floor ε:
+	// 0 keeps the backing bit-identical to the flat tables, ε > 0 lets
+	// per-slot cost scale with local density inside the documented
+	// soundness envelope (reported successes are always true successes).
+	FarFloor float64 `json:"farFloor,omitempty"`
+	// Cell overrides the spatial index's cell size (0 = automatic).
+	Cell float64 `json:"cell,omitempty"`
 }
 
 // TrafficSpec selects the injection process.
@@ -190,8 +231,24 @@ func WithLinks(n int) ScenarioOption { return func(s *Scenario) { s.Network.Link
 // WithHops sets the path length for multi-hop workloads.
 func WithHops(n int) ScenarioOption { return func(s *Scenario) { s.Network.Hops = n } }
 
+// WithGenerator switches the network to the "generator" topology with
+// the given procedural spec; the link count stays Network.Links.
+func WithGenerator(gen GeneratorSpec) ScenarioOption {
+	return func(s *Scenario) {
+		s.Network.Topology = "generator"
+		s.Network.Generator = &gen
+	}
+}
+
 // WithModel selects the interference model kind.
 func WithModel(kind string) ScenarioOption { return func(s *Scenario) { s.Model.Kind = kind } }
+
+// WithBacking selects the SINR table storage: auto, dense, csr, or
+// indexed. FarFloor > 0 enables the indexed backing's far-field
+// contribution floor ε (0 stays bit-identical to the flat tables).
+func WithBacking(backing string, farFloor float64) ScenarioOption {
+	return func(s *Scenario) { s.Model.Backing, s.Model.FarFloor = backing, farFloor }
+}
 
 // WithLoss adds independent per-transmission loss.
 func WithLoss(p float64) ScenarioOption { return func(s *Scenario) { s.Model.Loss = p } }
@@ -280,6 +337,28 @@ func (s Scenario) Validate() error {
 	default:
 		return fmt.Errorf("dynsched: scenario %q: unknown traffic pattern %q", s.Name, s.Traffic.Pattern)
 	}
+	switch s.Model.Backing {
+	case "", "auto", "dense", "csr", "indexed":
+	default:
+		return fmt.Errorf("dynsched: scenario %q: unknown model backing %q (want auto, dense, csr, or indexed)", s.Name, s.Model.Backing)
+	}
+	if !(s.Model.FarFloor >= 0 && s.Model.FarFloor < 1) {
+		return fmt.Errorf("dynsched: scenario %q: model farFloor %v outside [0,1)", s.Name, s.Model.FarFloor)
+	}
+	if s.Model.FarFloor > 0 && s.Model.Backing != "indexed" {
+		return fmt.Errorf("dynsched: scenario %q: model farFloor %v needs the indexed backing", s.Name, s.Model.FarFloor)
+	}
+	if s.Network.Generator != nil {
+		if s.Network.Topology != "generator" {
+			return fmt.Errorf("dynsched: scenario %q: a network generator needs topology \"generator\", got %q", s.Name, s.Network.Topology)
+		}
+		gen := s.Network.Generator.cliGenerator(s.Network.Links)
+		if err := gen.Validate(); err != nil {
+			return fmt.Errorf("dynsched: scenario %q: %v", s.Name, err)
+		}
+	} else if s.Network.Topology == "generator" {
+		return fmt.Errorf("dynsched: scenario %q: topology \"generator\" needs a network generator spec", s.Name)
+	}
 	if s.Sweep.Axis != "" && len(s.Sweep.Axes) > 0 {
 		return fmt.Errorf("dynsched: scenario %q: sweep axis and axes are mutually exclusive", s.Name)
 	}
@@ -316,13 +395,28 @@ func (s Scenario) Validate() error {
 	return nil
 }
 
+// cliGenerator maps the declarative generator spec onto the workload
+// builder's input, defaulting the link count to the network-level one.
+func (gs GeneratorSpec) cliGenerator(links int) cli.Generator {
+	return cli.Generator{
+		Kind:     gs.Kind,
+		Links:    links,
+		Side:     gs.Side,
+		Clusters: gs.Clusters,
+		Spread:   gs.Spread,
+		MinLen:   gs.MinLen,
+		MaxLen:   gs.MaxLen,
+		Seed:     gs.Seed,
+	}
+}
+
 // options maps the declarative spec onto the workload builder's input.
 func (s Scenario) options() cli.Options {
 	adv := s.Traffic.Pattern
 	if adv == "stochastic" {
 		adv = ""
 	}
-	return cli.Options{
+	o := cli.Options{
 		Model:         s.Model.Kind,
 		Topology:      s.Network.Topology,
 		Alg:           s.Protocol.Alg,
@@ -337,7 +431,15 @@ func (s Scenario) options() cli.Options {
 		LossP:         s.Model.Loss,
 		Frame:         s.Protocol.Frame,
 		DisableDelays: s.Protocol.DisableDelays,
+		Backing:       s.Model.Backing,
+		DenseMaxLinks: s.Model.DenseMax,
+		FarFloor:      s.Model.FarFloor,
+		CellSize:      s.Model.Cell,
 	}
+	if s.Network.Generator != nil {
+		o.Gen = s.Network.Generator.cliGenerator(s.Network.Links)
+	}
+	return o
 }
 
 // simConfig maps the spec's simulation parameters.
@@ -353,6 +455,17 @@ func (s Scenario) simConfig() SimConfig {
 
 // CompiledScenario holds the runnable components a scenario validates
 // and wires together: inspect the graph or protocol sizing, then Run.
+// ModelDiagnostics records which interference-table backing a compiled
+// SINR model resolved to and with which knobs — inspect it (or let
+// cmd/dynsched print it) to confirm a scale run actually uses the
+// spatial index rather than an O(n²) table.
+type ModelDiagnostics struct {
+	Backing       string  `json:"backing"`
+	DenseMaxLinks int     `json:"denseMaxLinks"`
+	FarFloor      float64 `json:"farFloor,omitempty"`
+	CellSize      float64 `json:"cellSize,omitempty"`
+}
+
 type CompiledScenario struct {
 	Scenario  Scenario
 	Graph     *Graph
@@ -361,6 +474,9 @@ type CompiledScenario struct {
 	Protocol  *Protocol
 	Config    SimConfig
 	Observers []SimObserver
+	// Diagnostics is the model's storage record (nil for non-SINR
+	// models). It is informational: it never influences results.
+	Diagnostics *ModelDiagnostics
 }
 
 // Compile validates the scenario and builds its components. Each call
@@ -378,14 +494,24 @@ func (s Scenario) Compile() (*CompiledScenario, error) {
 	for _, f := range s.Observers {
 		obs = append(obs, f())
 	}
+	var diag *ModelDiagnostics
+	if w.Diag != nil {
+		diag = &ModelDiagnostics{
+			Backing:       w.Diag.Backing,
+			DenseMaxLinks: w.Diag.DenseMaxLinks,
+			FarFloor:      w.Diag.FarFloor,
+			CellSize:      w.Diag.CellSize,
+		}
+	}
 	return &CompiledScenario{
-		Scenario:  s,
-		Graph:     w.Graph,
-		Model:     w.Model,
-		Process:   w.Process,
-		Protocol:  w.Protocol,
-		Config:    s.simConfig(),
-		Observers: obs,
+		Scenario:    s,
+		Graph:       w.Graph,
+		Model:       w.Model,
+		Process:     w.Process,
+		Protocol:    w.Protocol,
+		Config:      s.simConfig(),
+		Observers:   obs,
+		Diagnostics: diag,
 	}, nil
 }
 

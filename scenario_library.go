@@ -56,6 +56,57 @@ func init() {
 		Sim:         SimSpec{Slots: 30_000, Seed: 10, WarmupFrac: 0.1},
 	})
 
+	// The sinr-grid scale family: procedurally generated sender→receiver
+	// networks resolved through the spatially-indexed SINR backing. The
+	// 4k entry runs everywhere (CI smoke included); the 100k and 1m
+	// entries are scale targets for benchmarks and local runs — their
+	// per-slot cost follows local density through the far-field
+	// aggregation bound, not the link count.
+	MustRegisterScenario(Scenario{
+		Name:        "sinr-grid-4k",
+		Description: "4096 generated uniform pairs under uniform-power SINR on the spatial index (ε=0.02)",
+		Network: NetworkSpec{
+			Topology:  "generator",
+			Links:     4096,
+			Hops:      1,
+			Generator: &GeneratorSpec{Kind: "uniform", Seed: 42},
+		},
+		Model:    ModelSpec{Kind: "sinr-uniform", Backing: "indexed", FarFloor: 0.02},
+		Traffic:  TrafficSpec{Pattern: "stochastic", Lambda: 0.05},
+		Protocol: ProtocolSpec{Alg: "spread", Eps: 0.25},
+		Sim:      SimSpec{Slots: 20_000, Seed: 1, WarmupFrac: 0.1},
+	})
+
+	MustRegisterScenario(Scenario{
+		Name:        "sinr-grid-100k",
+		Description: "100 000 generated clustered pairs under uniform-power SINR on the spatial index (ε=0.05)",
+		Network: NetworkSpec{
+			Topology:  "generator",
+			Links:     100_000,
+			Hops:      1,
+			Generator: &GeneratorSpec{Kind: "cluster", Seed: 42},
+		},
+		Model:    ModelSpec{Kind: "sinr-uniform", Backing: "indexed", FarFloor: 0.05},
+		Traffic:  TrafficSpec{Pattern: "stochastic", Lambda: 0.05},
+		Protocol: ProtocolSpec{Alg: "spread", Eps: 0.25},
+		Sim:      SimSpec{Slots: 5_000, Seed: 1, WarmupFrac: 0.1},
+	})
+
+	MustRegisterScenario(Scenario{
+		Name:        "sinr-grid-1m",
+		Description: "one million generated uniform pairs under uniform-power SINR on the spatial index (ε=0.05)",
+		Network: NetworkSpec{
+			Topology:  "generator",
+			Links:     1_000_000,
+			Hops:      1,
+			Generator: &GeneratorSpec{Kind: "uniform", Seed: 42},
+		},
+		Model:    ModelSpec{Kind: "sinr-uniform", Backing: "indexed", FarFloor: 0.05},
+		Traffic:  TrafficSpec{Pattern: "stochastic", Lambda: 0.05},
+		Protocol: ProtocolSpec{Alg: "spread", Eps: 0.25},
+		Sim:      SimSpec{Slots: 1_000, Seed: 1, WarmupFrac: 0.1},
+	})
+
 	MustRegisterScenario(Scenario{
 		Name:        "lossy-line",
 		Description: "the line workload under 10% independent transmission loss",
