@@ -78,6 +78,14 @@ type JobView struct {
 	UnitsTotal  int `json:"unitsTotal,omitempty"`
 	UnitsDone   int `json:"unitsDone,omitempty"`
 	UnitsCached int `json:"unitsCached,omitempty"`
+	// Recovered marks a job restored from the journal after a daemon
+	// restart: the submission survived the crash and was resubmitted
+	// under its original ID.
+	Recovered bool `json:"recovered,omitempty"`
+	// ResumedFromSlot is the highest slot any of the job's simulations
+	// resumed from via an on-disk engine checkpoint instead of slot 0
+	// (0 = every simulation started fresh).
+	ResumedFromSlot int64 `json:"resumedFromSlot,omitempty"`
 	// Result holds the run's marshaled SimResult (single runs) or
 	// PlanResult (plan jobs) once the job is done. It is the exact byte
 	// sequence the result cache stores, so two submissions of one spec

@@ -8,6 +8,7 @@ import (
 
 	"dynsched/internal/experiments"
 	"dynsched/internal/interference"
+	"dynsched/internal/journal"
 	"dynsched/internal/netgraph"
 	"dynsched/internal/sinr"
 	"dynsched/internal/static"
@@ -324,3 +325,52 @@ func benchSlotResolve(b *testing.B, n, k int) {
 
 func BenchmarkSlotResolve100k(b *testing.B) { benchSlotResolve(b, 100_000, 4096) }
 func BenchmarkSlotResolve1M(b *testing.B)   { benchSlotResolve(b, 1_000_000, 8192) }
+
+// ---- Durability benchmarks: journal appends and engine checkpoints ----
+
+// BenchmarkJournalAppend is the journal's hot path: framing, CRC, and
+// write of one unsynced ~100-byte record — the shape of a per-unit
+// completion entry, the only record type dynschedd journals at volume.
+// Synced records (submit/finish/shutdown) add an fsync on top, which
+// dominates; PERFORMANCE.md reports both.
+func BenchmarkJournalAppend(b *testing.B) {
+	jn, err := journal.Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer jn.Close()
+	payload := []byte(`{"op":"unit","id":"job-42","index":17,` +
+		`"hash":"ec86773c3efd4f5a2251f53890609cec841a5ee96849b1e4735df7c681dda513"}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := jn.Append(payload, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpoint100k is the checkpoint-overhead guard: one op is
+// a 100k-slot line simulation capturing a full engine checkpoint
+// (RNG draw counts, in-flight packets, process/protocol/model state,
+// observer sketches) every 10k slots into a discard sink. Compare
+// against the same run with Checkpoint nil to price a single capture;
+// PERFORMANCE.md records the measured delta.
+func BenchmarkCheckpoint100k(b *testing.B) {
+	sc := NewScenario("bench-checkpoint",
+		WithModel("identity"), WithTopology("line"), WithNodes(6), WithHops(5),
+		WithAlgorithm("full-parallel"), WithLambda(0.3), WithSlots(100_000), WithSeed(1))
+	spec := &CheckpointSpec{Every: 10_000, Sink: func(*Checkpoint) error { return nil }}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := sc.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Config.Checkpoint = spec
+		if _, err := c.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

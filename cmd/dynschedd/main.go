@@ -4,10 +4,19 @@
 // live progress as NDJSON, and serves repeated submissions from a
 // content-addressed result cache keyed by the canonical spec hash.
 //
+// With -journal-dir the daemon is durable: job lifecycle events are
+// journaled, running simulations checkpoint every -checkpoint-every
+// slots, and a restart against the same directories recovers every
+// incomplete job — re-simulating only units whose results never
+// reached the cache, and resuming interrupted simulations from their
+// last checkpoint. The recovered result documents are byte-identical
+// to uninterrupted ones.
+//
 // Examples:
 //
 //	dynschedd -addr :8080
 //	dynschedd -addr :8080 -workers 4 -queue 128 -cache-dir /var/cache/dynschedd
+//	dynschedd -addr :8080 -journal-dir /var/lib/dynschedd -cache-dir /var/cache/dynschedd
 //
 //	curl -s localhost:8080/v1/scenarios
 //	curl -s -XPOST localhost:8080/v1/jobs -d '{"name":"sinr-stochastic"}'
@@ -15,9 +24,10 @@
 //	curl -sN localhost:8080/v1/jobs/job-1/events
 //	curl -s -XDELETE localhost:8080/v1/jobs/job-1
 //
-// The first SIGINT/SIGTERM stops accepting connections, cancels the
-// running simulations (their jobs end as "cancelled") and exits; a
-// second signal kills the process immediately.
+// The first SIGINT/SIGTERM stops accepting connections and drains:
+// running jobs get -shutdown-grace to finish, stragglers are dropped
+// (and recovered on the next boot when journaled); a second signal
+// kills the process immediately.
 package main
 
 import (
@@ -36,21 +46,30 @@ import (
 )
 
 func main() {
-	so := cli.ServerOptions{Addr: ":8080"}
+	so := cli.ServerOptions{Addr: ":8080", ShutdownGrace: 10 * time.Second}
 	cli.RegisterServerFlags(flag.CommandLine, &so)
 	flag.Parse()
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
-	srv := server.New(server.Config{
-		Workers:       so.Workers,
-		QueueDepth:    so.QueueDepth,
-		CacheEntries:  so.CacheEntries,
-		CacheDir:      so.CacheDir,
-		CacheDiskMax:  so.CacheDiskMax,
-		ProgressEvery: so.ProgressEvery,
+	srv, err := server.New(server.Config{
+		Workers:         so.Workers,
+		QueueDepth:      so.QueueDepth,
+		CacheEntries:    so.CacheEntries,
+		CacheDir:        so.CacheDir,
+		CacheDiskMax:    so.CacheDiskMax,
+		ProgressEvery:   so.ProgressEvery,
+		JournalDir:      so.JournalDir,
+		CheckpointEvery: so.CheckpointEvery,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynschedd:", err)
+		os.Exit(1)
+	}
+	if n := srv.RecoveredJobs(); n > 0 {
+		log.Printf("dynschedd recovered %d incomplete job(s) from %s", n, so.JournalDir)
+	}
 	srv.Start(ctx)
 
 	ln, err := net.Listen("tcp", so.Addr)
@@ -74,6 +93,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dynschedd:", err)
 		os.Exit(1)
 	}
+	rep := srv.Drain(so.ShutdownGrace)
 	srv.Wait()
-	log.Printf("dynschedd stopped")
+	log.Printf("dynschedd stopped: %d running job(s) finished, %d queued and %d running dropped",
+		rep.Finished, rep.DroppedQueued, rep.DroppedRunning)
 }

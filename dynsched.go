@@ -43,6 +43,7 @@ package dynsched
 
 import (
 	"context"
+	"io"
 	"math/rand"
 
 	"dynsched/internal/baseline"
@@ -328,7 +329,9 @@ func NewRotatingAdversary(m Model, paths []Path, w int, lambda float64, timing A
 }
 
 // InjectionTrace is a recorded arrival sequence replayable across runs,
-// for paired protocol comparisons.
+// for paired protocol comparisons. Traces serialize to NDJSON
+// (WriteNDJSON / ParseTrace) and embed in scenario documents as
+// TraceEvent lists (Records / WithTrace).
 type InjectionTrace = inject.Trace
 
 // RecordInjections runs a process for the given horizon and captures
@@ -336,6 +339,12 @@ type InjectionTrace = inject.Trace
 func RecordInjections(proc InjectionProcess, slots, seed int64) *InjectionTrace {
 	return inject.Record(proc, slots, newRand(seed))
 }
+
+// ParseTrace reads a workload recorded in NDJSON form — one header
+// line then one line per packet, the format InjectionTrace.WriteNDJSON
+// emits. ParseTrace∘WriteNDJSON is the identity, so replaying a
+// shipped trace is byte-identical to replaying the recording.
+func ParseTrace(r io.Reader) (*InjectionTrace, error) { return inject.TraceFromNDJSON(r) }
 
 // ---- The dynamic protocol (the paper's contribution) ----
 
@@ -485,6 +494,28 @@ func Simulate(cfg SimConfig, m Model, proc InjectionProcess, proto SimProtocol) 
 // context's error.
 func SimulateContext(ctx context.Context, cfg SimConfig, m Model, proc InjectionProcess, proto SimProtocol, obs ...SimObserver) (*SimResult, error) {
 	return sim.Run(ctx, cfg, m, proc, proto, obs...)
+}
+
+// Checkpoint is a resumable snapshot of a running simulation, taken at
+// a protocol frame boundary: RNG positions, in-flight packets, and
+// component/observer state, all JSON-serialisable. Resuming a run from
+// a checkpoint produces a final result byte-identical to the
+// uninterrupted run.
+type Checkpoint = sim.Checkpoint
+
+// CheckpointSpec configures checkpointing on SimConfig: take a
+// snapshot every Every slots into Sink, and/or resume from Resume.
+type CheckpointSpec = sim.CheckpointSpec
+
+// CheckpointableObserver is a SimObserver whose state survives
+// checkpoint/resume.
+type CheckpointableObserver = sim.CheckpointableObserver
+
+// SupportsCheckpoint reports whether a component combination can be
+// checkpointed: the process and protocol must serialize their state,
+// and the model must either be stateless or declare itself ready.
+func SupportsCheckpoint(m Model, proc InjectionProcess, proto SimProtocol) bool {
+	return sim.SupportsCheckpoint(m, proc, proto)
 }
 
 // ReplicateInput bundles one replication's components.

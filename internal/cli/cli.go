@@ -33,6 +33,10 @@ type Options struct {
 	Adv      string  `json:"adversary"` // "", burst, spread, sawtooth, rotating
 	Window   int     `json:"window"`
 	LossP    float64 `json:"loss"`
+	// Trace, when non-empty, replays the recorded injection sequence
+	// instead of a stochastic or adversarial process (traffic pattern
+	// "trace" at the scenario layer).
+	Trace []inject.TraceRecord `json:"trace,omitempty"`
 	// Frame overrides the protocol's frame length T (0 solves for it).
 	Frame int `json:"frame"`
 	// DisableDelays turns off the adversarial random initial delays
@@ -83,8 +87,10 @@ func Build(o Options) (*Workload, error) {
 		return nil, err
 	}
 	if o.LossP > 0 {
-		rng := rand.New(rand.NewSource(o.Seed + 99))
-		model = &interference.Lossy{Inner: model, P: o.LossP, Rand: rng.Float64}
+		// NewLossy wires a draw-counted RNG so lossy runs can be
+		// checkpointed; the stream is identical to the previous
+		// rand.New(rand.NewSource(o.Seed+99)) wiring.
+		model = interference.NewLossy(model, o.LossP, o.Seed+99)
 	}
 	alg, err := PickAlgorithm(o.Alg, o.Model)
 	if err != nil {
@@ -93,7 +99,23 @@ func Build(o Options) (*Workload, error) {
 
 	var proc inject.Process
 	window := 0
-	if o.Adv != "" {
+	if len(o.Trace) > 0 {
+		if o.Adv != "" {
+			return nil, fmt.Errorf("cli: trace replay and adversary %q are mutually exclusive", o.Adv)
+		}
+		for i, rec := range o.Trace {
+			for _, e := range rec.Path {
+				if e < 0 || int(e) >= model.NumLinks() {
+					return nil, fmt.Errorf("cli: trace record %d path link %d out of range [0,%d)", i, e, model.NumLinks())
+				}
+			}
+		}
+		tr, err := inject.TraceFromRecords("replay", o.Lambda, 0, o.Trace)
+		if err != nil {
+			return nil, err
+		}
+		proc = tr
+	} else if o.Adv != "" {
 		timing, rotate, err := ParseAdversary(o.Adv)
 		if err != nil {
 			return nil, err

@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 )
 
 // RegisterWorkloadFlags registers the workload-construction flags onto
@@ -41,6 +42,15 @@ type ServerOptions struct {
 	CacheDir      string
 	CacheDiskMax  int
 	ProgressEvery int64
+	// JournalDir enables the durable tier: job journal + checkpoint
+	// store, replayed on startup to recover incomplete jobs.
+	JournalDir string
+	// CheckpointEvery is the engine checkpoint period in slots (0 with
+	// a journal dir = 10000, negative = off).
+	CheckpointEvery int64
+	// ShutdownGrace is how long a draining shutdown lets running jobs
+	// finish before hard-cancelling them.
+	ShutdownGrace time.Duration
 }
 
 // RegisterServerFlags registers the dynschedd service flags onto fs,
@@ -53,6 +63,9 @@ func RegisterServerFlags(fs *flag.FlagSet, o *ServerOptions) {
 	fs.StringVar(&o.CacheDir, "cache-dir", o.CacheDir, "spill cached results to this directory (empty = memory only)")
 	fs.IntVar(&o.CacheDiskMax, "cache-disk-max", o.CacheDiskMax, "bound the spill directory to this many entries, evicting oldest first (0 = unbounded)")
 	fs.Int64Var(&o.ProgressEvery, "progress-every", o.ProgressEvery, "progress event period in slots (0 = run length / 20)")
+	fs.StringVar(&o.JournalDir, "journal-dir", o.JournalDir, "journal job lifecycle events to this directory and recover incomplete jobs on startup (empty = no durability)")
+	fs.Int64Var(&o.CheckpointEvery, "checkpoint-every", o.CheckpointEvery, "engine checkpoint period in slots with -journal-dir (0 = 10000, negative = off)")
+	fs.DurationVar(&o.ShutdownGrace, "shutdown-grace", o.ShutdownGrace, "how long a draining shutdown lets running jobs finish before dropping them for recovery")
 }
 
 // SignalContext returns a context cancelled by SIGINT/SIGTERM. The

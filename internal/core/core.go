@@ -30,6 +30,7 @@ import (
 
 	"dynsched/internal/inject"
 	"dynsched/internal/interference"
+	"dynsched/internal/randx"
 	"dynsched/internal/sim"
 	"dynsched/internal/static"
 )
@@ -173,7 +174,10 @@ type Protocol struct {
 	// by failure time (oldest first).
 	failBuf [][]*pkt
 
-	rng *rand.Rand // protocol-private randomness (initial delays)
+	// rngSrc counts the private RNG's draws so the protocol can be
+	// checkpointed (see checkpoint.go); rng draws through it.
+	rngSrc *randx.CountingSource
+	rng    *rand.Rand // protocol-private randomness (initial delays)
 
 	frame     int64
 	exec      static.Execution // current phase execution (nil when idle)
@@ -319,6 +323,7 @@ func New(cfg Config) (*Protocol, error) {
 			s.DelayMax = 1
 		}
 	}
+	rngSrc := randx.NewCounting(cfg.Seed ^ 0x6b43a9b5)
 	return &Protocol{
 		cfg:        cfg,
 		sizing:     s,
@@ -326,7 +331,8 @@ func New(cfg Config) (*Protocol, error) {
 		mainAlg:    mainAlg,
 		cleanupAlg: cleanupAlg,
 		failBuf:    make([][]*pkt, cfg.Model.NumLinks()),
-		rng:        rand.New(rand.NewSource(cfg.Seed ^ 0x6b43a9b5)),
+		rngSrc:     rngSrc,
+		rng:        rand.New(rngSrc),
 		interner:   sim.NewPathInterner(),
 	}, nil
 }

@@ -1,0 +1,145 @@
+// NDJSON trace serialization: recorded workloads round-trip through a
+// newline-delimited JSON format, so real traffic shapes can be
+// journaled, shipped, and replayed byte-identically through the
+// service. The format is one header line
+//
+//	{"trace":"<name>","rate":<λ>,"slots":<horizon>}
+//
+// followed by one line per packet, slots ascending, recorded order
+// within a slot:
+//
+//	{"slot":<t>,"id":<id>,"path":[<link>,...]}
+//
+// WriteNDJSON emits canonical output (json.Marshal field order), so
+// TraceFromNDJSON∘WriteNDJSON is the identity on bytes as well as on
+// traces.
+package inject
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dynsched/internal/netgraph"
+)
+
+// TraceRecord is one packet of a serialized trace.
+type TraceRecord struct {
+	Slot int64         `json:"slot"`
+	ID   int64         `json:"id"`
+	Path netgraph.Path `json:"path"`
+}
+
+type traceHeader struct {
+	Trace string  `json:"trace"`
+	Rate  float64 `json:"rate"`
+	Slots int64   `json:"slots"`
+}
+
+// Records returns the trace's packets as serializable records, slots
+// ascending, recorded order within a slot.
+func (t *Trace) Records() []TraceRecord {
+	slots := make([]int64, 0, len(t.bySlot))
+	for s := range t.bySlot {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	var out []TraceRecord
+	for _, s := range slots {
+		for _, pkt := range t.bySlot[s] {
+			out = append(out, TraceRecord{Slot: s, ID: pkt.ID, Path: pkt.Path})
+		}
+	}
+	return out
+}
+
+// TraceFromRecords builds a replayable trace from serialized records.
+// IDs must be unique and paths non-empty; slots must be non-negative.
+// slots <= 0 derives the horizon from the last record.
+func TraceFromRecords(name string, rate float64, slots int64, recs []TraceRecord) (*Trace, error) {
+	t := &Trace{name: name, rate: rate, slots: slots, bySlot: make(map[int64][]Packet)}
+	seen := make(map[int64]bool, len(recs))
+	for i, r := range recs {
+		if r.Slot < 0 {
+			return nil, fmt.Errorf("inject: trace record %d has negative slot %d", i, r.Slot)
+		}
+		if len(r.Path) == 0 {
+			return nil, fmt.Errorf("inject: trace record %d has empty path", i)
+		}
+		if seen[r.ID] {
+			return nil, fmt.Errorf("inject: trace record %d reuses packet ID %d", i, r.ID)
+		}
+		seen[r.ID] = true
+		if r.Slot >= t.slots {
+			t.slots = r.Slot + 1
+		}
+		t.bySlot[r.Slot] = append(t.bySlot[r.Slot], Packet{ID: r.ID, Path: r.Path, Injected: r.Slot})
+	}
+	return t, nil
+}
+
+// WriteNDJSON serializes the trace in canonical NDJSON form.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr, err := json.Marshal(traceHeader{Trace: t.name, Rate: t.rate, Slots: t.slots})
+	if err != nil {
+		return err
+	}
+	bw.Write(hdr)
+	bw.WriteByte('\n')
+	for _, rec := range t.Records() {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// TraceFromNDJSON parses a trace serialized by WriteNDJSON (or written
+// by hand / external tooling in the same shape). The first non-empty
+// line must be the header; unknown fields are rejected so malformed
+// traces fail loudly rather than replay silently wrong.
+func TraceFromNDJSON(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var hdr *traceHeader
+	var recs []TraceRecord
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if hdr == nil {
+			hdr = &traceHeader{}
+			if err := dec.Decode(hdr); err != nil {
+				return nil, fmt.Errorf("inject: trace header (line %d): %w", lineNo, err)
+			}
+			if hdr.Trace == "" {
+				return nil, fmt.Errorf("inject: trace header (line %d) missing \"trace\" name", lineNo)
+			}
+			continue
+		}
+		var rec TraceRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("inject: trace record (line %d): %w", lineNo, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("inject: reading trace: %w", err)
+	}
+	if hdr == nil {
+		return nil, fmt.Errorf("inject: empty trace input")
+	}
+	return TraceFromRecords(hdr.Trace, hdr.Rate, hdr.Slots, recs)
+}

@@ -1,0 +1,95 @@
+package inject
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynsched/internal/netgraph"
+)
+
+func testTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := TraceFromRecords("test", 0.4, 0, []TraceRecord{
+		{Slot: 0, ID: 1, Path: netgraph.Path{0, 1}},
+		{Slot: 0, ID: 2, Path: netgraph.Path{2}},
+		{Slot: 3, ID: 3, Path: netgraph.Path{1, 2, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNDJSONRoundTripIsIdentity(t *testing.T) {
+	tr := testTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+
+	back, err := TraceFromNDJSON(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != tr.Name() || back.Rate() != tr.Rate() || back.Slots() != tr.Slots() {
+		t.Fatalf("header changed: got (%q,%v,%d) want (%q,%v,%d)",
+			back.Name(), back.Rate(), back.Slots(), tr.Name(), tr.Rate(), tr.Slots())
+	}
+	var buf2 bytes.Buffer
+	if err := back.WriteNDJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if second := buf2.String(); second != first {
+		t.Fatalf("round trip not byte-identical:\nfirst  %q\nsecond %q", first, second)
+	}
+}
+
+func TestNDJSONHorizonDerivedFromLastRecord(t *testing.T) {
+	tr := testTrace(t)
+	if got, want := tr.Slots(), int64(4); got != want {
+		t.Fatalf("derived horizon = %d, want %d", got, want)
+	}
+}
+
+func TestNDJSONRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty input":     "",
+		"missing header":  `{"slot":0,"id":1,"path":[0]}`,
+		"unnamed header":  `{"rate":0.5,"slots":10}`,
+		"unknown field":   "{\"trace\":\"t\",\"rate\":0.5,\"slots\":10}\n{\"slot\":0,\"id\":1,\"path\":[0],\"bogus\":1}",
+		"duplicate id":    "{\"trace\":\"t\",\"rate\":0.5,\"slots\":10}\n{\"slot\":0,\"id\":1,\"path\":[0]}\n{\"slot\":1,\"id\":1,\"path\":[0]}",
+		"empty path":      "{\"trace\":\"t\",\"rate\":0.5,\"slots\":10}\n{\"slot\":0,\"id\":1,\"path\":[]}",
+		"negative slot":   "{\"trace\":\"t\",\"rate\":0.5,\"slots\":10}\n{\"slot\":-1,\"id\":1,\"path\":[0]}",
+		"not json at all": "hello\n",
+	}
+	for name, input := range cases {
+		if _, err := TraceFromNDJSON(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNDJSONReplayMatchesOriginal(t *testing.T) {
+	tr := testTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := TraceFromNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := int64(0); slot < tr.Slots(); slot++ {
+		a, b := tr.Step(slot, nil), back.Step(slot, nil)
+		if len(a) != len(b) {
+			t.Fatalf("slot %d: %d vs %d packets", slot, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || len(a[i].Path) != len(b[i].Path) {
+				t.Fatalf("slot %d packet %d differs: %+v vs %+v", slot, i, a[i], b[i])
+			}
+		}
+	}
+}

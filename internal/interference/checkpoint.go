@@ -1,0 +1,43 @@
+// Model checkpointing. Every model in this package except Lossy is a
+// pure function of its inputs and needs no checkpoint support. Lossy
+// consumes randomness per successful transmission; its state is the
+// RNG's position in its stream, available only when the model was
+// built with NewLossy (a hand-wired Rand closure is opaque).
+package interference
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+type lossyState struct {
+	Draws uint64 `json:"draws"`
+}
+
+// CheckpointReady reports whether the model can serialize its RNG
+// state — true for NewLossy-built models. sim.SupportsCheckpoint
+// consults it.
+func (l *Lossy) CheckpointReady() bool { return l.Src != nil }
+
+// CheckpointState implements sim.Checkpointable.
+func (l *Lossy) CheckpointState() ([]byte, error) {
+	if l.Src == nil {
+		return nil, fmt.Errorf("interference: lossy model built without a counting source (use NewLossy)")
+	}
+	return json.Marshal(lossyState{Draws: l.Src.Draws()})
+}
+
+// RestoreState implements sim.Checkpointable.
+func (l *Lossy) RestoreState(data []byte) error {
+	if l.Src == nil {
+		return fmt.Errorf("interference: lossy model built without a counting source (use NewLossy)")
+	}
+	var st lossyState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if err := l.Src.SeekTo(st.Draws); err != nil {
+		return fmt.Errorf("interference: %w", err)
+	}
+	return nil
+}

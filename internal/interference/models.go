@@ -2,7 +2,10 @@ package interference
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
+
+	"dynsched/internal/randx"
 )
 
 // countDup returns, for each entry of tx, whether its link appears more
@@ -232,6 +235,19 @@ type Lossy struct {
 	P     float64
 	// Rand returns a uniform float64 in [0,1); typically rng.Float64.
 	Rand func() float64
+	// Src, when set, is the draw-counting source behind Rand; it makes
+	// the model checkpointable (see checkpoint.go). Construct with
+	// NewLossy to get both wired consistently.
+	Src *randx.CountingSource
+}
+
+// NewLossy builds a lossy wrapper whose drop decisions draw from a
+// private draw-counted RNG seeded with seed, making the model
+// checkpointable. The stream is identical to
+// rand.New(rand.NewSource(seed)).Float64.
+func NewLossy(inner Model, p float64, seed int64) *Lossy {
+	src := randx.NewCounting(seed)
+	return &Lossy{Inner: inner, P: p, Rand: rand.New(src).Float64, Src: src}
 }
 
 var _ Model = (*Lossy)(nil)

@@ -1,0 +1,357 @@
+// Package journal is an append-only, CRC-checked record log backing
+// dynschedd's durable job table. The server appends one opaque payload
+// per job lifecycle event (submit, unit done, finish, shutdown); on
+// restart it replays every record in order to rebuild the job table
+// and resubmit incomplete work.
+//
+// Layout: the journal is a directory of numbered segment files
+// (journal-00000001.log, ...). Each record is framed as
+//
+//	[4-byte little-endian payload length][4-byte IEEE CRC32][payload]
+//
+// Appends go to the newest segment and rotate to a fresh file past a
+// size threshold; every Open starts a new segment so a torn tail from
+// a crash is never appended to. Replay reads segments in order and is
+// torn-tail tolerant: a record that frames incompletely or checksums
+// badly at the very end of a segment is the interrupted last write of
+// a crashed process (crashes only ever tear tails, and rotation means
+// the torn segment may no longer be the newest file by the time it is
+// replayed) — it is dropped and replay succeeds (flagged Torn). A
+// checksum failure with intact data after it cannot be a torn write
+// and is reported as ErrCorrupt.
+//
+// Compaction is snapshot-rewrite: after replay the server appends a
+// fresh snapshot of still-live jobs to the new segment and calls
+// Prune, which deletes every older segment.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	segmentPrefix = "journal-"
+	segmentSuffix = ".log"
+	headerBytes   = 8 // 4-byte length + 4-byte CRC32
+
+	// maxRecordBytes guards replay against absurd allocations when the
+	// length prefix itself is corrupt.
+	maxRecordBytes = 16 << 20
+
+	// DefaultSegmentBytes is the rotation threshold for a segment file.
+	DefaultSegmentBytes = 4 << 20
+)
+
+// ErrCorrupt reports a mid-segment checksum failure — a record whose
+// bytes are all present but wrong, with valid data after it. Unlike a
+// torn tail this cannot be explained by an interrupted append, so
+// replay refuses to guess.
+var ErrCorrupt = errors.New("journal: corrupt record")
+
+// Journal is an open, appendable journal directory. Methods are safe
+// for concurrent use.
+type Journal struct {
+	dir      string
+	segBytes int64
+
+	mu      sync.Mutex
+	f       *os.File
+	seq     uint64
+	size    int64
+	records int64
+	bytes   int64
+	closed  bool
+}
+
+// Stats are observability gauges for /healthz.
+type Stats struct {
+	// Segments is the number of segment files currently on disk.
+	Segments int `json:"segments"`
+	// Records and Bytes count appends since this process opened the
+	// journal (replayed history is not re-counted).
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Open creates dir if needed and opens the journal for appending.
+// A fresh segment is always started: past crashes may have torn the
+// previous tail, and never appending after a torn record keeps the
+// "torn implies final" replay invariant. segBytes <= 0 uses
+// DefaultSegmentBytes.
+func Open(dir string, segBytes int64) (*Journal, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if n := len(segs); n > 0 {
+		next = segs[n-1].seq + 1
+	}
+	j := &Journal{dir: dir, segBytes: segBytes, seq: next}
+	if err := j.openSegment(next); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *Journal) openSegment(seq uint64) error {
+	f, err := os.OpenFile(segmentPath(j.dir, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if j.f != nil {
+		j.f.Sync()
+		j.f.Close()
+	}
+	j.f, j.seq, j.size = f, seq, 0
+	return nil
+}
+
+// Append writes one record. When sync is true the segment is fsync'd
+// before returning — the record survives a crash. Unsynced appends
+// reach the OS immediately but rely on the next Sync (or the kernel)
+// for durability; use them for high-rate observability records whose
+// loss is recoverable by other means.
+func (j *Journal) Append(payload []byte, sync bool) error {
+	if int64(len(payload)) > maxRecordBytes {
+		return fmt.Errorf("journal: record too large (%d bytes)", len(payload))
+	}
+	buf := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[headerBytes:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	if j.size+int64(len(buf)) > j.segBytes && j.size > 0 {
+		if err := j.openSegment(j.seq + 1); err != nil {
+			return err
+		}
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.size += int64(len(buf))
+	j.records++
+	j.bytes += int64(len(buf))
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync flushes the current segment to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || j.f == nil {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Prune deletes every segment older than the one currently being
+// appended to. Called after the replay-then-snapshot sequence at
+// startup: the new segment holds a full snapshot of live jobs, so the
+// history it was derived from is dead weight.
+func (j *Journal) Prune() error {
+	j.mu.Lock()
+	cur := j.seq
+	j.mu.Unlock()
+	segs, err := segments(j.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s.seq < cur {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("journal: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats reports current gauges.
+func (j *Journal) Stats() Stats {
+	segs, _ := segments(j.dir)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{Segments: len(segs), Records: j.records, Bytes: j.bytes}
+}
+
+// Close syncs and closes the current segment.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.f == nil {
+		return nil
+	}
+	j.f.Sync()
+	return j.f.Close()
+}
+
+// ReplayStats summarises a Replay pass.
+type ReplayStats struct {
+	Segments int
+	Records  int64
+	// Torn reports that the final segment ended in a partial or
+	// checksum-failed record (an interrupted write), which was dropped.
+	Torn bool
+}
+
+// Replay reads every record in dir in append order and hands each
+// payload to fn. A missing directory replays zero records. Torn
+// segment tails are dropped (Torn=true); a checksum failure with
+// valid data after it returns ErrCorrupt. fn returning an error
+// aborts the replay.
+func Replay(dir string, fn func(payload []byte) error) (ReplayStats, error) {
+	var rs ReplayStats
+	segs, err := segments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return rs, nil
+		}
+		return rs, err
+	}
+	rs.Segments = len(segs)
+	for _, s := range segs {
+		n, torn, err := replaySegment(s.path, fn)
+		rs.Records += n
+		if err != nil {
+			return rs, err
+		}
+		if torn {
+			rs.Torn = true
+		}
+	}
+	return rs, nil
+}
+
+func replaySegment(path string, fn func([]byte) error) (int64, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, fmt.Errorf("journal: %w", err)
+	}
+	var n int64
+	off := 0
+	for off < len(data) {
+		rec, next, verdict := frame(data, off)
+		switch verdict {
+		case frameTorn:
+			return n, true, nil
+		case frameCorrupt:
+			return n, false, fmt.Errorf("%w: %s at offset %d", ErrCorrupt, filepath.Base(path), off)
+		}
+		if err := fn(rec); err != nil {
+			return n, false, err
+		}
+		n++
+		off = next
+	}
+	return n, false, nil
+}
+
+const (
+	frameOK = iota
+	// frameTorn: the record is incomplete (header or payload runs past
+	// the end of the segment, or the length field is garbage) or the
+	// last record's checksum fails — the signature of an interrupted
+	// append. The rest of the segment is dropped.
+	frameTorn
+	// frameCorrupt: a fully-present record fails its checksum with
+	// valid data after it — not explicable as a torn write.
+	frameCorrupt
+)
+
+// frame decodes one record at off, returning the payload, the offset
+// of the next record, and a verdict.
+func frame(data []byte, off int) ([]byte, int, int) {
+	if off+headerBytes > len(data) {
+		return nil, 0, frameTorn
+	}
+	length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	if length > maxRecordBytes || off+headerBytes+length > len(data) {
+		return nil, 0, frameTorn
+	}
+	next := off + headerBytes + length
+	payload := data[off+headerBytes : next]
+	if crc32.ChecksumIEEE(payload) != sum {
+		if next == len(data) {
+			return nil, 0, frameTorn
+		}
+		return nil, 0, frameCorrupt
+	}
+	return payload, next, frameOK
+}
+
+type segment struct {
+	seq  uint64
+	path string
+}
+
+func segments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		seqStr := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segment{seq: seq, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, k int) bool { return segs[i].seq < segs[k].seq })
+	return segs, nil
+}
+
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", segmentPrefix, seq, segmentSuffix))
+}
+
+// Truncate is a test hook: chop the final segment in dir to length n,
+// simulating a torn write. Exposed here (rather than in _test files)
+// so the server's crash-recovery tests can reuse it.
+func Truncate(dir string, n int64) error {
+	segs, err := segments(dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return io.ErrUnexpectedEOF
+	}
+	return os.Truncate(segs[len(segs)-1].path, n)
+}

@@ -1,0 +1,195 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func collect(t *testing.T, dir string) ([]string, ReplayStats) {
+	t.Helper()
+	var got []string
+	rs, err := Replay(dir, func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, rs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "", "gamma with spaces", string(make([]byte, 4096))}
+	for i, p := range want {
+		if err := j.Append([]byte(p), i%2 == 0); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, rs := collect(t, dir)
+	if len(got) != len(want) || rs.Torn {
+		t.Fatalf("replayed %d records (torn=%v), want %d", len(got), rs.Torn, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	st := j.Stats()
+	if st.Records != int64(len(want)) || st.Segments != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, 64) // tiny segments force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 20; i++ {
+		p := fmt.Sprintf("record-%02d-%s", i, string(make([]byte, 16)))
+		want = append(want, p)
+		if err := j.Append([]byte(p), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Reopen starts a fresh segment; appends continue the record
+	// stream across the restart.
+	j2, err := Open(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, "after-restart")
+	if err := j2.Append([]byte("after-restart"), true); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	got, rs := collect(t, dir)
+	if rs.Segments < 3 {
+		t.Fatalf("expected rotation to produce multiple segments, got %d", rs.Segments)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d mismatch after rotation", i)
+		}
+	}
+}
+
+// A truncated final record — the torn write of a crashed process — is
+// detected via framing/CRC and dropped; earlier records survive.
+func TestTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, 0)
+	j.Append([]byte("one"), true)
+	j.Append([]byte("two"), true)
+	j.Append([]byte("three-will-be-torn"), true)
+	j.Close()
+
+	segs, _ := segments(dir)
+	fi, _ := os.Stat(segs[0].path)
+	if err := Truncate(dir, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	got, rs := collect(t, dir)
+	if !rs.Torn {
+		t.Fatal("expected Torn flag")
+	}
+	if len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Fatalf("got %q, want the two intact records", got)
+	}
+
+	// A torn tail must stay tolerated even after the next process
+	// opens (and rotates to) a new segment — the torn segment is then
+	// no longer the newest file.
+	j2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Append([]byte("four"), true)
+	j2.Close()
+	got, rs = collect(t, dir)
+	if !rs.Torn || len(got) != 3 || got[2] != "four" {
+		t.Fatalf("after reopen: torn=%v got=%q", rs.Torn, got)
+	}
+}
+
+// Flipping bytes inside a record that has valid data after it is real
+// corruption, not a torn write: replay must refuse.
+func TestMidStreamCorruptionFatal(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, 0)
+	j.Append([]byte("first-record-payload"), true)
+	j.Append([]byte("second-record-payload"), true)
+	j.Close()
+
+	segs, _ := segments(dir)
+	data, _ := os.ReadFile(segs[0].path)
+	data[headerBytes+3] ^= 0xFF // corrupt the first payload in place
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := Replay(dir, func([]byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestPruneKeepsCurrentSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, 0)
+	j.Append([]byte("old"), true)
+	j.Close()
+
+	j2, _ := Open(dir, 0)
+	j2.Append([]byte("snapshot"), true)
+	if err := j2.Prune(); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	got, rs := collect(t, dir)
+	if rs.Segments != 1 || len(got) != 1 || got[0] != "snapshot" {
+		t.Fatalf("after prune: segments=%d got=%q", rs.Segments, got)
+	}
+}
+
+func TestReplayMissingDir(t *testing.T) {
+	rs, err := Replay(filepath.Join(t.TempDir(), "nope"), func([]byte) error { return nil })
+	if err != nil || rs.Records != 0 {
+		t.Fatalf("missing dir: %v %+v", err, rs)
+	}
+}
+
+func TestReplayCallbackErrorAborts(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, 0)
+	j.Append([]byte("a"), true)
+	j.Append([]byte("b"), true)
+	j.Close()
+	boom := errors.New("boom")
+	n := 0
+	_, err := Replay(dir, func([]byte) error { n++; return boom })
+	if !errors.Is(err, boom) || n != 1 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}

@@ -140,7 +140,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	case sub == "" && r.Method == http.MethodGet:
 		writeJSON(w, http.StatusOK, j.View(true))
 	case sub == "" && r.Method == http.MethodDelete:
-		j.requestCancel()
+		if _, cancelledNow := j.requestCancel(); cancelledNow {
+			// The queued job went terminal right here; journal it (a
+			// running job's outcome is journaled by its worker).
+			s.journalFinish(j, StateCancelled)
+		}
 		writeJSON(w, http.StatusOK, j.View(false))
 	case sub == "events" && r.Method == http.MethodGet:
 		s.streamEvents(w, r, j)
@@ -200,14 +204,27 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"ok":         true,
 		"queued":     s.queueLen(),
 		"jobs":       s.jobCount(),
 		"cached":     s.cache.Len(),
 		"cachedDisk": s.cache.DiskLen(),
 		"workers":    s.cfg.Workers,
-	})
+	}
+	if s.journal != nil {
+		st := s.journal.Stats()
+		doc["journal"] = map[string]any{
+			"segments":        st.Segments,
+			"records":         st.Records,
+			"bytes":           st.Bytes,
+			"replayedRecords": s.replayStats.Records,
+			"replayTorn":      s.replayStats.Torn,
+			"recoveredJobs":   s.recovered,
+			"cleanShutdown":   s.cleanShutdown,
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

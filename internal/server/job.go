@@ -64,6 +64,18 @@ type Job struct {
 	unitsDone   int
 	unitsCached int
 
+	// recovered marks a job restored from the journal after a restart;
+	// resumedFromSlot is the highest slot any of its simulations resumed
+	// from via an on-disk checkpoint. reps preserves the original
+	// submission's replication count for re-journaling.
+	recovered       bool
+	resumedFromSlot int64
+	reps            int
+
+	// shutdownDrop marks a job hard-cancelled by a draining shutdown:
+	// its terminal state is NOT journaled, so the next boot recovers it.
+	shutdownDrop bool
+
 	// compiled carries the submit-time compilation (done there so bad
 	// specs fail the POST synchronously) to the one worker that runs the
 	// job, which clears it — no recompilation needed. Only that worker
@@ -113,15 +125,17 @@ func (j *Job) View(withResult bool) JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:          j.ID,
-		Hash:        j.Hash,
-		Scenario:    j.Scenario.Name,
-		State:       j.state,
-		Cached:      j.cached,
-		Error:       j.errMsg,
-		UnitsTotal:  j.unitsTotal,
-		UnitsDone:   j.unitsDone,
-		UnitsCached: j.unitsCached,
+		ID:              j.ID,
+		Hash:            j.Hash,
+		Scenario:        j.Scenario.Name,
+		State:           j.state,
+		Cached:          j.cached,
+		Error:           j.errMsg,
+		UnitsTotal:      j.unitsTotal,
+		UnitsDone:       j.unitsDone,
+		UnitsCached:     j.unitsCached,
+		Recovered:       j.recovered,
+		ResumedFromSlot: j.resumedFromSlot,
 	}
 	if withResult && j.state == StateDone {
 		v.Result = json.RawMessage(j.result)
@@ -148,25 +162,28 @@ func (j *Job) event(ctx context.Context, i int) (Event, bool) {
 // cancelled immediately (the worker will skip it); a running job has
 // its run context cancelled and the worker publishes the terminal
 // event. Terminal jobs are left untouched. It reports whether the
-// request changed anything. Because both this transition and the
-// worker's queued→running transition happen under j.mu, a DELETE
-// cannot slip between them: the job is either still queued (cancelled
-// here) or already running (cancelled through its context).
-func (j *Job) requestCancel() bool {
+// request changed anything, and whether the job went terminal right
+// here (so the caller can journal the outcome — the worker journals
+// the running case). Because both this transition and the worker's
+// queued→running transition happen under j.mu, a DELETE cannot slip
+// between them: the job is either still queued (cancelled here) or
+// already running (cancelled through its context).
+func (j *Job) requestCancel() (changed, cancelledNow bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() || j.cancelRequested {
-		return false
+		return false, false
 	}
 	j.cancelRequested = true
 	switch j.state {
 	case StateQueued:
 		j.state = StateCancelled
 		j.publishLocked(Event{Type: "cancelled"})
+		cancelledNow = true
 	case StateRunning:
 		if j.cancel != nil {
 			j.cancel()
 		}
 	}
-	return true
+	return true, cancelledNow
 }

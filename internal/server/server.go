@@ -33,8 +33,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"dynsched"
+	"dynsched/internal/journal"
 	"dynsched/internal/sim"
 )
 
@@ -62,6 +64,19 @@ type Config struct {
 	// MaxJobs bounds the job registry (0 = 4096); terminal jobs beyond
 	// it are forgotten oldest-first. Results stay in the cache.
 	MaxJobs int
+	// JournalDir, when set, enables the durable execution tier: job
+	// lifecycle events are journaled there (see journal.go), engine
+	// checkpoints spill to its checkpoints/ subdirectory, and New
+	// replays the directory to recover incomplete jobs from the last
+	// process. Pair it with CacheDir so recovered plans find their
+	// finished units.
+	JournalDir string
+	// CheckpointEvery checkpoints each running simulation every so many
+	// slots (at the protocol's next frame boundary) into the journal
+	// directory's checkpoint store; 0 with a JournalDir defaults to
+	// 10_000, negative disables checkpointing. Ignored without a
+	// JournalDir.
+	CheckpointEvery int64
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +92,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
 	}
+	if c.JournalDir != "" && c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 10_000
+	}
 	return c
 }
 
@@ -87,24 +105,45 @@ type Server struct {
 	cache *Cache
 	queue chan *Job
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string
-	nextID int
+	// Durability (nil/zero when Config.JournalDir is empty).
+	journal       *journal.Journal
+	ckptDir       string
+	replayStats   journal.ReplayStats
+	cleanShutdown bool // previous process journaled a shutdown marker
+	recovered     int  // jobs re-enqueued by recovery
+
+	// drainCh, closed by Drain, stops idle workers from dequeuing.
+	drainCh chan struct{}
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	running  map[string]*Job
+	draining bool
 
 	wg sync.WaitGroup
 }
 
-// New builds a server. Call Start to launch the worker pool and
-// Handler to obtain the HTTP surface.
-func New(cfg Config) *Server {
+// New builds a server, replaying the journal directory (when
+// configured) to recover jobs from the previous process. Call Start to
+// launch the worker pool and Handler to obtain the HTTP surface.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:   cfg,
-		cache: NewCache(cfg.CacheEntries, cfg.CacheDir, cfg.CacheDiskMax),
-		queue: make(chan *Job, cfg.QueueDepth),
-		jobs:  map[string]*Job{},
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries, cfg.CacheDir, cfg.CacheDiskMax),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		drainCh: make(chan struct{}),
+		jobs:    map[string]*Job{},
+		running: map[string]*Job{},
 	}
+	if cfg.JournalDir != "" {
+		if err := s.recover(cfg.JournalDir); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	return s, nil
 }
 
 // Start launches the worker pool. Cancelling ctx stops the workers:
@@ -128,10 +167,89 @@ func (s *Server) worker(ctx context.Context) {
 		select {
 		case <-ctx.Done():
 			return
+		case <-s.drainCh:
+			return
 		case j := <-s.queue:
 			s.runJob(ctx, j)
 		}
 	}
+}
+
+// DrainReport summarises a graceful shutdown: how many running jobs
+// finished inside the grace period, and how many queued/running jobs
+// were dropped. Dropped jobs are deliberately left unfinished in the
+// journal, so a journaled server recovers them on the next boot.
+type DrainReport struct {
+	Finished       int
+	DroppedQueued  int
+	DroppedRunning int
+}
+
+// Drain gracefully shuts the worker pool down: stop dequeuing, let
+// running jobs finish for up to grace, then hard-cancel the stragglers
+// without journaling their terminal state. It journals the clean-
+// shutdown marker and closes the journal; call it once, before
+// cancelling the Start context. Safe without a journal (the report is
+// still meaningful).
+func (s *Server) Drain(grace time.Duration) DrainReport {
+	s.mu.Lock()
+	s.draining = true
+	atStart := len(s.running)
+	s.mu.Unlock()
+	close(s.drainCh)
+
+	var rep DrainReport
+	// Jobs still queued will never be dequeued (workers stop at the
+	// closed drainCh); count them as dropped. A worker already blocked
+	// on the queue may still race one job out — that job is simply a
+	// running job the drain waits for.
+drainQueue:
+	for {
+		select {
+		case <-s.queue:
+			rep.DroppedQueued++
+		default:
+			break drainQueue
+		}
+	}
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	graceExpired := false
+	select {
+	case <-done:
+	case <-time.After(grace):
+		graceExpired = true
+		// Grace expired: hard-cancel what is still running. shutdownDrop
+		// suppresses the finish journal record so the jobs recover.
+		s.mu.Lock()
+		stragglers := make([]*Job, 0, len(s.running))
+		for _, j := range s.running {
+			stragglers = append(stragglers, j)
+		}
+		s.mu.Unlock()
+		for _, j := range stragglers {
+			j.mu.Lock()
+			j.shutdownDrop = true
+			if j.cancel != nil {
+				j.cancel()
+			}
+			j.mu.Unlock()
+			rep.DroppedRunning++
+		}
+		<-done
+	}
+	if rep.Finished = atStart - rep.DroppedRunning; rep.Finished < 0 || !graceExpired {
+		// Everything running at the start (plus any job a worker raced
+		// out of the queue) completed inside the grace period.
+		rep.Finished = atStart
+	}
+
+	if s.journal != nil {
+		_ = s.appendRecord(journalRecord{Op: "shutdown"}, true)
+		_ = s.journal.Close()
+	}
+	return rep
 }
 
 // runJob executes one queued job end to end: transition to running,
@@ -152,9 +270,19 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	j.publishLocked(Event{Type: "started"})
 	j.mu.Unlock()
 
+	s.mu.Lock()
+	s.running[j.ID] = j
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.running, j.ID)
+		s.mu.Unlock()
+	}()
+
 	var data []byte
 	var err error
-	if j.plan != nil {
+	isPlan := j.plan != nil
+	if isPlan {
 		data, err = s.runPlan(jctx, j)
 	} else {
 		var res *dynsched.SimResult
@@ -166,24 +294,37 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	}
 	if err != nil {
 		j.mu.Lock()
-		defer j.mu.Unlock()
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			j.state = StateCancelled
 			j.publishLocked(Event{Type: "cancelled"})
+			// A user cancellation is a terminal outcome and is journaled;
+			// a shutdown- or process-exit cancellation is not — the job
+			// is meant to recover on the next boot.
+			drop := j.shutdownDrop || ctx.Err() != nil
+			j.mu.Unlock()
+			if !drop {
+				s.journalFinish(j, StateCancelled)
+			}
 			return
 		}
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		j.publishLocked(Event{Type: "failed", Error: j.errMsg})
+		j.mu.Unlock()
+		s.journalFinish(j, StateFailed)
 		return
 	}
 	s.cache.Put(j.Hash, data)
+	if s.journal != nil && !isPlan {
+		s.dropCheckpoint(j.Hash)
+	}
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.state = StateDone
 	j.result = data
 	j.publishLocked(Event{Type: "done"})
+	j.mu.Unlock()
+	s.journalFinish(j, StateDone)
 }
 
 // maxUnitEvents bounds one plan job's share of the event log, exactly
@@ -220,6 +361,10 @@ func (s *Server) runPlan(ctx context.Context, j *Job) ([]byte, error) {
 		Store: func(u dynsched.PlanUnit, res *dynsched.SimResult) {
 			if data, err := json.Marshal(res); err == nil {
 				s.cache.Put(u.Hash, data)
+				if s.journal != nil {
+					s.journalUnit(j, u.Index, u.Hash)
+					s.dropCheckpoint(u.Hash)
+				}
 			}
 		},
 		OnUnit: func(u dynsched.PlanUnit, cached bool, err error, prog dynsched.PlanProgress) {
@@ -255,6 +400,23 @@ func (s *Server) runPlan(ctx context.Context, j *Job) ([]byte, error) {
 				return nil, false
 			}
 			return &res, true
+		}
+	}
+	if s.journal != nil && s.cfg.CheckpointEvery > 0 {
+		opts.CheckpointEvery = s.cfg.CheckpointEvery
+		opts.SaveCheckpoint = func(u dynsched.PlanUnit, cp *sim.Checkpoint) error {
+			return s.saveCheckpoint(u.Hash, cp)
+		}
+		opts.LoadCheckpoint = func(u dynsched.PlanUnit) *sim.Checkpoint {
+			cp := s.loadCheckpoint(u.Hash)
+			if cp != nil {
+				j.mu.Lock()
+				if cp.Slot > j.resumedFromSlot {
+					j.resumedFromSlot = cp.Slot
+				}
+				j.mu.Unlock()
+			}
+			return cp
 		}
 	}
 	pr, err := p.Execute(ctx, opts)
@@ -298,6 +460,20 @@ func (s *Server) simulate(ctx context.Context, j *Job) (*dynsched.SimResult, err
 		j.publish(Event{Type: "progress", Progress: &snap})
 	})
 	c.Observers = append(c.Observers, progress)
+	if s.journal != nil && s.cfg.CheckpointEvery > 0 &&
+		sim.SupportsCheckpoint(c.Model, c.Process, c.Protocol) {
+		spec := &sim.CheckpointSpec{
+			Every: s.cfg.CheckpointEvery,
+			Sink:  func(cp *sim.Checkpoint) error { return s.saveCheckpoint(j.Hash, cp) },
+		}
+		if cp := s.loadCheckpoint(j.Hash); cp != nil {
+			spec.Resume = cp
+			j.mu.Lock()
+			j.resumedFromSlot = cp.Slot
+			j.mu.Unlock()
+		}
+		c.Config.Checkpoint = spec
+	}
 	return c.Run(ctx)
 }
 
@@ -320,8 +496,13 @@ func (s *Server) submit(sc dynsched.Scenario, compiled *dynsched.CompiledScenari
 			return j, true, nil
 		}
 	}
+	if s.isDraining() {
+		return nil, false, errQueueFull
+	}
 	j := newJob(s.allocID(), hash, sc)
 	j.compiled = compiled
+	j.noCache = noCache
+	j.reps = 1
 	j.publish(Event{Type: "queued"})
 	select {
 	case s.queue <- j:
@@ -329,6 +510,7 @@ func (s *Server) submit(sc dynsched.Scenario, compiled *dynsched.CompiledScenari
 		return nil, false, errQueueFull
 	}
 	s.register(j)
+	s.journalSubmit(j, 1)
 	return j, false, nil
 }
 
@@ -355,10 +537,14 @@ func (s *Server) submitPlan(p *dynsched.Plan, compiled *dynsched.CompiledScenari
 			return j, true, nil
 		}
 	}
+	if s.isDraining() {
+		return nil, false, errQueueFull
+	}
 	j := newJob(s.allocID(), hash, p.Source)
 	j.plan = p
 	j.compiled = compiled
 	j.noCache = noCache
+	j.reps = p.Reps
 	j.unitsTotal = len(p.Units)
 	j.publish(Event{Type: "queued"})
 	select {
@@ -367,7 +553,16 @@ func (s *Server) submitPlan(p *dynsched.Plan, compiled *dynsched.CompiledScenari
 		return nil, false, errQueueFull
 	}
 	s.register(j)
+	s.journalSubmit(j, p.Reps)
 	return j, false, nil
+}
+
+// isDraining reports whether Drain has begun; draining servers reject
+// new submissions (they could never run).
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 var errQueueFull = errors.New("job queue is full")
@@ -435,3 +630,7 @@ func (s *Server) jobList() []JobView {
 
 // queueLen returns the number of jobs waiting for a worker.
 func (s *Server) queueLen() int { return len(s.queue) }
+
+// RecoveredJobs reports how many incomplete jobs startup recovery
+// re-enqueued from the journal.
+func (s *Server) RecoveredJobs() int { return s.recovered }

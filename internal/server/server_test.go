@@ -23,7 +23,10 @@ import (
 // on a random port, both torn down with the test.
 func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	srv.Start(ctx)
 	ts := httptest.NewServer(srv.Handler())

@@ -7,6 +7,9 @@
 package sim
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"dynsched/internal/inject"
 	"dynsched/internal/stats"
 )
@@ -68,13 +71,16 @@ func (BaseObserver) OnDeliver(int64, Delivery) {}
 // OnEnd implements Observer.
 func (BaseObserver) OnEnd(*Result) {}
 
-// latencyObserver reproduces the packet-latency metrics: a histogram of
-// end-to-end latencies and a per-hop latency summary, excluding
-// deliveries during the warm-up period.
+// latencyObserver reproduces the packet-latency metrics — all of them
+// streaming aggregates with bounded memory: a histogram of end-to-end
+// latencies, a mergeable quantile digest of the same values, and a
+// per-hop latency summary, excluding deliveries during the warm-up
+// period.
 type latencyObserver struct {
 	BaseObserver
 	warmupEnd int64
 	hist      *stats.Histogram
+	digest    *stats.Digest
 	hop       stats.Summary
 }
 
@@ -84,20 +90,56 @@ func (o *latencyObserver) OnDeliver(t int64, d Delivery) {
 	}
 	lat := float64(t - d.Injected + 1)
 	o.hist.Add(lat)
+	o.digest.Add(lat)
 	o.hop.Add(lat / float64(d.PathLen))
 }
 
 func (o *latencyObserver) OnEnd(r *Result) {
 	r.Latency = o.hist
+	r.LatencyDigest = o.digest
 	r.HopLatency = o.hop
 }
 
-// queueObserver samples the in-flight packet count every `sample` slots
-// and always includes the final executed slot, so the series never ends
-// mid-run; the stability verdict is fitted over the sampled series.
+type latencyState struct {
+	Hist   *stats.Histogram `json:"hist"`
+	Digest *stats.Digest    `json:"digest"`
+	Hop    stats.Summary    `json:"hop"`
+}
+
+// CheckpointState implements CheckpointableObserver.
+func (o *latencyObserver) CheckpointState() ([]byte, error) {
+	return json.Marshal(latencyState{Hist: o.hist, Digest: o.digest, Hop: o.hop})
+}
+
+// RestoreState implements CheckpointableObserver.
+func (o *latencyObserver) RestoreState(data []byte) error {
+	var st latencyState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if st.Hist == nil || st.Digest == nil {
+		return fmt.Errorf("sim: latency checkpoint missing histogram or digest")
+	}
+	o.hist, o.digest, o.hop = st.Hist, st.Digest, st.Hop
+	return nil
+}
+
+// maxQueueSamples bounds the queue series: when the series reaches the
+// cap it is thinned to half and the sampling stride doubles, so a
+// long-horizon run with a fine SampleEvery holds a bounded, evenly
+// spaced series instead of an unbounded one. Default sampling
+// (Slots/512) stays far under the cap, so short runs are unaffected —
+// and byte-identical to the pre-cap engine.
+const maxQueueSamples = 2048
+
+// queueObserver samples the in-flight packet count every
+// `sample`·`stride` slots and always includes the final executed slot,
+// so the series never ends mid-run; the stability verdict is fitted
+// over the sampled series.
 type queueObserver struct {
 	BaseObserver
 	sample int64
+	stride int64
 	series stats.Series
 	lastT  int64
 	lastV  float64
@@ -106,17 +148,48 @@ type queueObserver struct {
 
 func (o *queueObserver) OnSlot(t int64, v SlotView) {
 	o.lastT, o.lastV, o.seen = t, float64(v.InFlight), true
-	if t%o.sample == 0 {
+	if t%(o.sample*o.stride) == 0 {
 		o.series.Append(float64(t), float64(v.InFlight))
+		if o.series.Len() >= maxQueueSamples {
+			o.series.Thin()
+			o.stride *= 2
+		}
 	}
 }
 
 func (o *queueObserver) OnEnd(r *Result) {
-	if o.seen && o.lastT%o.sample != 0 {
+	if o.seen && o.lastT%(o.sample*o.stride) != 0 {
 		o.series.Append(float64(o.lastT), o.lastV)
 	}
 	r.Queue = o.series
 	r.Verdict = o.series.Stability()
+}
+
+type queueState struct {
+	Series stats.Series `json:"series"`
+	Stride int64        `json:"stride"`
+	LastT  int64        `json:"lastT"`
+	LastV  float64      `json:"lastV"`
+	Seen   bool         `json:"seen"`
+}
+
+// CheckpointState implements CheckpointableObserver.
+func (o *queueObserver) CheckpointState() ([]byte, error) {
+	return json.Marshal(queueState{Series: o.series, Stride: o.stride, LastT: o.lastT, LastV: o.lastV, Seen: o.seen})
+}
+
+// RestoreState implements CheckpointableObserver.
+func (o *queueObserver) RestoreState(data []byte) error {
+	var st queueState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	o.series, o.lastT, o.lastV, o.seen = st.Series, st.LastT, st.LastV, st.Seen
+	o.stride = st.Stride
+	if o.stride < 1 {
+		o.stride = 1
+	}
+	return nil
 }
 
 // linkObserver accumulates per-link attempt and service counts, the
@@ -139,4 +212,27 @@ func (o *linkObserver) OnSlot(t int64, v SlotView) {
 func (o *linkObserver) OnEnd(r *Result) {
 	r.PerLinkServed = o.served
 	r.PerLinkAttempts = o.attempts
+}
+
+type linkState struct {
+	Served   []int64 `json:"served"`
+	Attempts []int64 `json:"attempts"`
+}
+
+// CheckpointState implements CheckpointableObserver.
+func (o *linkObserver) CheckpointState() ([]byte, error) {
+	return json.Marshal(linkState{Served: o.served, Attempts: o.attempts})
+}
+
+// RestoreState implements CheckpointableObserver.
+func (o *linkObserver) RestoreState(data []byte) error {
+	var st linkState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.Served) != len(o.served) || len(st.Attempts) != len(o.attempts) {
+		return fmt.Errorf("sim: link checkpoint for %d links, model has %d", len(st.Served), len(o.served))
+	}
+	o.served, o.attempts = st.Served, st.Attempts
+	return nil
 }

@@ -7,6 +7,8 @@
 package sim
 
 import (
+	"encoding/json"
+
 	"dynsched/internal/inject"
 	"dynsched/internal/stats"
 )
@@ -80,6 +82,28 @@ func (o *ProgressObserver) OnSlot(t int64, v SlotView) {
 		InFlight:   int64(v.InFlight),
 		Latency:    o.lat.View(),
 	})
+}
+
+type progressState struct {
+	Injected  int64         `json:"injected"`
+	Delivered int64         `json:"delivered"`
+	Lat       stats.Summary `json:"lat"`
+}
+
+// CheckpointState implements CheckpointableObserver, so a resumed run
+// reports cumulative progress counters rather than restarting from 0.
+func (o *ProgressObserver) CheckpointState() ([]byte, error) {
+	return json.Marshal(progressState{Injected: o.injected, Delivered: o.delivered, Lat: o.lat})
+}
+
+// RestoreState implements CheckpointableObserver.
+func (o *ProgressObserver) RestoreState(data []byte) error {
+	var st progressState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	o.injected, o.delivered, o.lat = st.Injected, st.Delivered, st.Lat
+	return nil
 }
 
 // OnEnd implements Observer: the final snapshot is drawn from the

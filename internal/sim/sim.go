@@ -17,6 +17,7 @@ import (
 
 	"dynsched/internal/inject"
 	"dynsched/internal/interference"
+	"dynsched/internal/randx"
 	"dynsched/internal/stats"
 )
 
@@ -60,6 +61,10 @@ type Config struct {
 	// replications across: 0 means GOMAXPROCS, 1 runs serially inline.
 	// Results are bit-identical for every value.
 	Parallel int
+	// Checkpoint configures periodic state capture and resume (nil
+	// disables both). Resumed runs are bit-identical to uninterrupted
+	// ones; see CheckpointSpec.
+	Checkpoint *CheckpointSpec
 }
 
 // Result aggregates the metrics of one run.
@@ -74,6 +79,10 @@ type Result struct {
 	// Latency is the per-packet latency histogram (delivery − injection),
 	// excluding the warm-up period.
 	Latency *stats.Histogram `json:"latency"`
+	// LatencyDigest is a mergeable quantile sketch of the same
+	// deliveries: unlike the histogram its shape is config-independent,
+	// so digests from different runs (or plan units) always merge.
+	LatencyDigest *stats.Digest `json:"latencyDigest,omitempty"`
 	// HopLatency summarises latency divided by path length.
 	HopLatency stats.Summary `json:"hopLatency"`
 	// Queue is the sampled time series of in-flight packet counts.
@@ -171,15 +180,20 @@ func Run(ctx context.Context, cfg Config, model interference.Model, proc inject.
 	if latBucket < 1 {
 		latBucket = 1
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The engine RNG runs behind a draw-counting source so its stream
+	// position can be checkpointed; the wrapper delegates every draw,
+	// so the stream is identical to a bare rand.NewSource(cfg.Seed).
+	src := randx.NewCounting(cfg.Seed)
+	rng := rand.New(src)
 	res := &Result{}
 	obs := make([]Observer, 0, 3+len(extra))
 	obs = append(obs,
 		&latencyObserver{
 			warmupEnd: int64(cfg.WarmupFrac * float64(cfg.Slots)),
 			hist:      stats.NewHistogram(latBucket, 257),
+			digest:    stats.NewDigest(0),
 		},
-		&queueObserver{sample: sample},
+		&queueObserver{sample: sample, stride: 1},
 		&linkObserver{
 			served:   make([]int64, model.NumLinks()),
 			attempts: make([]int64, model.NumLinks()),
@@ -206,7 +220,22 @@ func Run(ctx context.Context, cfg Config, model interference.Model, proc inject.
 		}
 	}
 
-	for t := int64(0); t < cfg.Slots; t++ {
+	// Checkpointing: resume fast-forwards to the checkpoint slot;
+	// capture fires every Every slots, deferred until all aligners
+	// (the frame-structured protocol) reach a serializable boundary.
+	ck := cfg.Checkpoint
+	capture := ck != nil && ck.Every > 0 && ck.Sink != nil
+	t0 := int64(0)
+	if ck != nil && ck.Resume != nil {
+		var err error
+		t0, err = restoreCheckpoint(ck.Resume, cfg, src, res, arena, intern, model, proc, proto, obs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: resume from checkpoint: %w", err)
+		}
+	}
+	ckDue := false
+
+	for t := t0; t < cfg.Slots; t++ {
 		if t&cancelCheckMask == 0 && ctx.Err() != nil {
 			finish(t)
 			return res, fmt.Errorf("sim: run cancelled after %d of %d slots: %w", t, cfg.Slots, ctx.Err())
@@ -276,6 +305,25 @@ func Run(ctx context.Context, cfg Config, model interference.Model, proc inject.
 		view := SlotView{Tx: tx, Success: success, InFlight: arena.len()}
 		for _, o := range obs {
 			o.OnSlot(t, view)
+		}
+
+		// 6. Periodic checkpoint, once the protocol is at a boundary.
+		// The final slot is skipped — the run is about to finish.
+		if capture && t+1 < cfg.Slots {
+			if (t+1)%ck.Every == 0 {
+				ckDue = true
+			}
+			if ckDue && checkpointAligned(t+1, model, proc, proto) {
+				ckDue = false
+				cp, err := captureCheckpoint(t+1, cfg, src, res, arena, model, proc, proto, obs)
+				if err == nil {
+					err = ck.Sink(cp)
+				}
+				if err != nil {
+					finish(t + 1)
+					return res, fmt.Errorf("sim: checkpoint at slot %d: %w", t+1, err)
+				}
+			}
 		}
 	}
 	finish(cfg.Slots)

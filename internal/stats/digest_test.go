@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDigestRelativeAccuracy(t *testing.T) {
+	d := NewDigest(0.01)
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		x := math.Exp(rng.NormFloat64()*2) + 1 // heavy-tailed latencies
+		vals = append(vals, x)
+		d.Add(x)
+	}
+	sortFloats(vals)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		idx := int(math.Ceil(q*float64(len(vals)))) - 1
+		truth := vals[idx]
+		got := d.Quantile(q)
+		if rel := math.Abs(got-truth) / truth; rel > 0.02 {
+			t.Errorf("q=%v: got %v, truth %v (rel err %v)", q, got, truth, rel)
+		}
+	}
+	if d.N() != 20000 {
+		t.Fatalf("n=%d", d.N())
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// Merging two digests must be exact: identical to streaming every
+// sample into a single digest.
+func TestDigestMergeExact(t *testing.T) {
+	a, b, all := NewDigest(0.01), NewDigest(0.01), NewDigest(0.01)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		x := rng.Float64() * 1000
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		all.Add(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket counts and extremes merge exactly; the running sum can
+	// differ in the last ulp from addition order.
+	if !sameModuloSum(t, a, all) {
+		t.Fatal("merged digest differs from single-stream digest")
+	}
+}
+
+// sameModuloSum compares two JSON-marshalable sketches field-for-field
+// with the floating-point "sum" compared within 1e-9 relative
+// tolerance (summation order differs between merged and single-stream
+// accumulation).
+func sameModuloSum(t *testing.T, a, b interface{ MarshalJSON() ([]byte, error) }) bool {
+	t.Helper()
+	var da, db map[string]json.RawMessage
+	ba, _ := a.MarshalJSON()
+	bb, _ := b.MarshalJSON()
+	json.Unmarshal(ba, &da)
+	json.Unmarshal(bb, &db)
+	var sa, sb float64
+	json.Unmarshal(da["sum"], &sa)
+	json.Unmarshal(db["sum"], &sb)
+	if math.Abs(sa-sb) > 1e-9*math.Max(math.Abs(sa), 1) {
+		t.Errorf("sums differ: %v vs %v", sa, sb)
+		return false
+	}
+	delete(da, "sum")
+	delete(db, "sum")
+	for k, v := range da {
+		if string(db[k]) != string(v) {
+			t.Errorf("field %q differs: %s vs %s", k, v, db[k])
+			return false
+		}
+	}
+	return len(da) == len(db)
+}
+
+func TestDigestMergeAlphaMismatch(t *testing.T) {
+	a, b := NewDigest(0.01), NewDigest(0.05)
+	b.Add(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("expected alpha mismatch error")
+	}
+}
+
+func TestDigestJSONRoundTrip(t *testing.T) {
+	d := NewDigest(0.01)
+	for _, x := range []float64{0, 1, 1, 2.5, 300, 1e6} {
+		d.Add(x)
+	}
+	enc, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Digest
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	enc2, _ := json.Marshal(&back)
+	if string(enc) != string(enc2) {
+		t.Fatalf("round trip drifted:\n %s\n %s", enc, enc2)
+	}
+	if back.N() != d.N() || back.Quantile(0.5) != d.Quantile(0.5) || back.Max() != d.Max() {
+		t.Fatal("restored digest differs")
+	}
+}
+
+func TestDigestEmpty(t *testing.T) {
+	d := NewDigest(0)
+	if d.Quantile(0.5) != 0 || d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 {
+		t.Fatal("empty digest should report zeros")
+	}
+}
+
+func TestHistogramMergeExact(t *testing.T) {
+	a, b, all := NewHistogram(2, 16), NewHistogram(2, 16), NewHistogram(2, 16)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64() * 40 // exercises overflow too
+		if i%3 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		all.Add(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !sameModuloSum(t, a, all) {
+		t.Fatal("merged histogram differs from single-stream histogram")
+	}
+	bad := NewHistogram(3, 16)
+	bad.Add(1)
+	if err := a.Merge(bad); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestSeriesThin(t *testing.T) {
+	var s Series
+	for i := 0; i < 11; i++ {
+		s.Append(float64(i*10), float64(i))
+	}
+	s.Thin()
+	if s.Len() != 6 {
+		t.Fatalf("len=%d", s.Len())
+	}
+	for i := 0; i < 6; i++ {
+		if s.T[i] != float64(i*20) || s.V[i] != float64(i*2) {
+			t.Fatalf("sample %d: (%v,%v)", i, s.T[i], s.V[i])
+		}
+	}
+}

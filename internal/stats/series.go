@@ -23,6 +23,22 @@ func (s *Series) Append(t, v float64) {
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.T) }
 
+// Thin halves the series in place, keeping every second sample
+// starting from the first. Long-horizon runs call this when the
+// series outgrows a cap: the retained points remain evenly spaced
+// (stride doubles), so linear fits and stability verdicts stay
+// meaningful while memory stays bounded.
+func (s *Series) Thin() {
+	w := 0
+	for i := 0; i < len(s.T); i += 2 {
+		s.T[w] = s.T[i]
+		s.V[w] = s.V[i]
+		w++
+	}
+	s.T = s.T[:w]
+	s.V = s.V[:w]
+}
+
 // Tail returns the sub-series containing the last fraction frac of the
 // samples (by count). frac is clamped to (0, 1].
 func (s *Series) Tail(frac float64) *Series {

@@ -232,8 +232,6 @@ type PlanUnitStatus struct {
 	// Hash is the unit's content address (its resolved Scenario.Hash).
 	Hash   string      `json:"hash"`
 	Coords []AxisValue `json:"coords,omitempty"`
-	// Cached marks units served from a per-unit cache lookup.
-	Cached bool `json:"cached,omitempty"`
 	// Done marks units that completed cleanly.
 	Done bool `json:"done"`
 }
@@ -241,16 +239,19 @@ type PlanUnitStatus struct {
 // PlanResult is the typed document a plan execution assembles: plan
 // identity, per-unit status, and exactly one aggregate matching the
 // plan kind. It is what dynschedd serves (and caches under the plan
-// hash) for sweep, grid and replicate jobs.
+// hash) for sweep, grid and replicate jobs. The document records what
+// was computed, never how: cache and recovery provenance live on the
+// job view (OnUnit progress, api.JobView), so the same plan yields a
+// byte-identical document whether its units ran fresh, came from the
+// cache, or were resumed after a crash.
 type PlanResult struct {
 	Kind     PlanKind `json:"kind"`
 	Scenario string   `json:"scenario"`
 	// Hash is the plan-level content address (Plan.Hash).
-	Hash        string           `json:"hash"`
-	UnitsTotal  int              `json:"unitsTotal"`
-	UnitsDone   int              `json:"unitsDone"`
-	UnitsCached int              `json:"unitsCached"`
-	Units       []PlanUnitStatus `json:"units"`
+	Hash       string           `json:"hash"`
+	UnitsTotal int              `json:"unitsTotal"`
+	UnitsDone  int              `json:"unitsDone"`
+	Units      []PlanUnitStatus `json:"units"`
 	// Run holds the single-run aggregate (kind "run") — the partial
 	// result when the run was cancelled mid-way.
 	Run *SimResult `json:"run,omitempty"`
@@ -283,6 +284,19 @@ type ExecOptions struct {
 	// unit order, then runs in completion order. Calls are serialized
 	// with monotonic counts; keep the callback cheap.
 	OnUnit func(u PlanUnit, cached bool, err error, p PlanProgress)
+	// CheckpointEvery, when positive, checkpoints each running unit
+	// every so many slots (at the protocol's next frame boundary),
+	// handing the snapshots to SaveCheckpoint. Units whose components
+	// do not support checkpointing run uncheckpointed; results are
+	// bit-identical either way.
+	CheckpointEvery int64
+	// SaveCheckpoint receives each unit's checkpoints. It is called
+	// from pool workers and must be safe for concurrent use across
+	// units (calls for one unit are serial).
+	SaveCheckpoint func(u PlanUnit, cp *sim.Checkpoint) error
+	// LoadCheckpoint, when set, is consulted once per freshly-run unit;
+	// a non-nil checkpoint resumes the unit from it instead of slot 0.
+	LoadCheckpoint func(u PlanUnit) *sim.Checkpoint
 }
 
 // PlanProgress is the plan-level completion state handed to OnUnit.
@@ -333,6 +347,20 @@ func (p *Plan) Execute(ctx context.Context, opts ExecOptions) (*PlanResult, erro
 				return nil, cerr
 			}
 		}
+		if (opts.CheckpointEvery > 0 || opts.LoadCheckpoint != nil) &&
+			sim.SupportsCheckpoint(c.Model, c.Process, c.Protocol) {
+			spec := &sim.CheckpointSpec{}
+			if opts.CheckpointEvery > 0 && opts.SaveCheckpoint != nil {
+				spec.Every = opts.CheckpointEvery
+				spec.Sink = func(cp *sim.Checkpoint) error { return opts.SaveCheckpoint(pu, cp) }
+			}
+			if opts.LoadCheckpoint != nil {
+				spec.Resume = opts.LoadCheckpoint(pu)
+			}
+			if spec.Every > 0 || spec.Resume != nil {
+				c.Config.Checkpoint = spec
+			}
+		}
 		res, rerr := c.Run(uctx)
 		if rerr == nil && opts.Store != nil {
 			opts.Store(pu, res)
@@ -359,20 +387,18 @@ func (p *Plan) Execute(ctx context.Context, opts ExecOptions) (*PlanResult, erro
 // aggregate assembles the PlanResult document from an outcome.
 func (p *Plan) aggregate(out *plan.Outcome[*SimResult]) *PlanResult {
 	result := &PlanResult{
-		Kind:        p.Kind,
-		Scenario:    p.Source.Name,
-		Hash:        p.Hash(),
-		UnitsTotal:  len(p.Units),
-		UnitsDone:   out.NumDone,
-		UnitsCached: out.NumCached,
-		Units:       make([]PlanUnitStatus, len(p.Units)),
+		Kind:       p.Kind,
+		Scenario:   p.Source.Name,
+		Hash:       p.Hash(),
+		UnitsTotal: len(p.Units),
+		UnitsDone:  out.NumDone,
+		Units:      make([]PlanUnitStatus, len(p.Units)),
 	}
 	for i, pu := range p.Units {
 		result.Units[i] = PlanUnitStatus{
 			Index:  i,
 			Hash:   pu.Hash,
 			Coords: pu.Coords,
-			Cached: out.Cached[i],
 			Done:   out.Done[i],
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"dynsched/internal/cli"
+	"dynsched/internal/inject"
 	"dynsched/internal/sim"
 )
 
@@ -86,15 +87,25 @@ type ModelSpec struct {
 	Cell float64 `json:"cell,omitempty"`
 }
 
+// TraceEvent is one packet of a recorded workload: the slot it is
+// injected, its ID, and its route. It is the scenario-level alias of
+// the injection layer's trace record, so recorded traffic embeds
+// directly in a spec document.
+type TraceEvent = inject.TraceRecord
+
 // TrafficSpec selects the injection process.
 type TrafficSpec struct {
-	// Pattern is "stochastic" (the default) or an adversary timing:
-	// burst, spread, sawtooth, rotating.
+	// Pattern is "stochastic" (the default), an adversary timing
+	// (burst, spread, sawtooth, rotating), or "trace" to replay the
+	// recorded packets in Trace.
 	Pattern string `json:"pattern,omitempty"`
 	// Lambda is the injection rate in interference-measure units/slot.
 	Lambda float64 `json:"lambda"`
 	// Window is the adversary window length w (adversarial patterns).
 	Window int `json:"window,omitempty"`
+	// Trace is the recorded workload replayed by the "trace" pattern,
+	// one event per packet, slots ascending.
+	Trace []TraceEvent `json:"trace,omitempty"`
 }
 
 // ProtocolSpec selects and tunes the dynamic protocol.
@@ -262,6 +273,16 @@ func WithAdversary(pattern string, window int) ScenarioOption {
 	return func(s *Scenario) { s.Traffic.Pattern, s.Traffic.Window = pattern, window }
 }
 
+// WithTrace switches injection to byte-identical replay of the given
+// recorded workload (see RecordInjections, InjectionTrace.Records and
+// ParseTrace).
+func WithTrace(events []TraceEvent) ScenarioOption {
+	return func(s *Scenario) {
+		s.Traffic.Pattern = "trace"
+		s.Traffic.Trace = events
+	}
+}
+
 // WithAlgorithm names the static algorithm the protocol wraps.
 func WithAlgorithm(alg string) ScenarioOption { return func(s *Scenario) { s.Protocol.Alg = alg } }
 
@@ -334,6 +355,13 @@ func (s Scenario) Validate() error {
 	}
 	switch s.Traffic.Pattern {
 	case "", "stochastic", "burst", "spread", "sawtooth", "rotating":
+		if len(s.Traffic.Trace) > 0 {
+			return fmt.Errorf("dynsched: scenario %q: traffic trace needs pattern \"trace\", got %q", s.Name, s.Traffic.Pattern)
+		}
+	case "trace":
+		if len(s.Traffic.Trace) == 0 {
+			return fmt.Errorf("dynsched: scenario %q: traffic pattern \"trace\" needs a non-empty trace", s.Name)
+		}
 	default:
 		return fmt.Errorf("dynsched: scenario %q: unknown traffic pattern %q", s.Name, s.Traffic.Pattern)
 	}
@@ -413,7 +441,7 @@ func (gs GeneratorSpec) cliGenerator(links int) cli.Generator {
 // options maps the declarative spec onto the workload builder's input.
 func (s Scenario) options() cli.Options {
 	adv := s.Traffic.Pattern
-	if adv == "stochastic" {
+	if adv == "stochastic" || adv == "trace" {
 		adv = ""
 	}
 	o := cli.Options{
@@ -435,6 +463,7 @@ func (s Scenario) options() cli.Options {
 		DenseMaxLinks: s.Model.DenseMax,
 		FarFloor:      s.Model.FarFloor,
 		CellSize:      s.Model.Cell,
+		Trace:         s.Traffic.Trace,
 	}
 	if s.Network.Generator != nil {
 		o.Gen = s.Network.Generator.cliGenerator(s.Network.Links)

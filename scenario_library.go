@@ -116,4 +116,35 @@ func init() {
 		Protocol:    ProtocolSpec{Alg: "full-parallel", Eps: 0.25},
 		Sim:         SimSpec{Slots: 50_000, Seed: 1, WarmupFrac: 0.1},
 	})
+
+	MustRegisterScenario(traceReplayScenario())
+}
+
+// traceReplayScenario records 512 slots of the line workload's
+// stochastic arrivals and embeds them as data: the registered scenario
+// carries the concrete packets, not the process that produced them, so
+// every run replays the identical byte-for-byte workload. It is the
+// in-tree model for replaying captured real traffic (see ParseTrace
+// for the NDJSON import path).
+func traceReplayScenario() Scenario {
+	rec := NewScenario("trace-recording",
+		WithTopology("line"), WithNodes(6), WithHops(5),
+		WithModel("identity"), WithLambda(0.4),
+		WithAlgorithm("full-parallel"),
+		WithSlots(512), WithSeed(21),
+	)
+	c, err := rec.Compile()
+	if err != nil {
+		panic(err)
+	}
+	tr := RecordInjections(c.Process, 512, 21)
+	return Scenario{
+		Name:        "trace-replay",
+		Description: "byte-identical replay of a 512-slot recorded line workload",
+		Network:     NetworkSpec{Topology: "line", Nodes: 6, Hops: 5},
+		Model:       ModelSpec{Kind: "identity"},
+		Traffic:     TrafficSpec{Pattern: "trace", Lambda: 0.4, Trace: tr.Records()},
+		Protocol:    ProtocolSpec{Alg: "full-parallel", Eps: 0.25},
+		Sim:         SimSpec{Slots: 2_000, Seed: 21, WarmupFrac: 0.1},
+	}
 }
