@@ -86,6 +86,16 @@ type JobView struct {
 	// resumed from via an on-disk engine checkpoint instead of slot 0
 	// (0 = every simulation started fresh).
 	ResumedFromSlot int64 `json:"resumedFromSlot,omitempty"`
+	// Events is the current length of the job's event log — what a
+	// fresh GET /v1/jobs/{id}/events replay would deliver before
+	// following live.
+	Events int `json:"events,omitempty"`
+	// EventsDropped counts unit completions elided from a plan job's
+	// event stream by thinning: plans beyond 512 units publish every
+	// ⌈total/512⌉-th completion plus the final one, and this reports
+	// how many fell between. The units* counters always reflect every
+	// unit; only stream entries are elided.
+	EventsDropped int `json:"eventsDropped,omitempty"`
 	// Result holds the run's marshaled SimResult (single runs) or
 	// PlanResult (plan jobs) once the job is done. It is the exact byte
 	// sequence the result cache stores, so two submissions of one spec
@@ -137,4 +147,48 @@ type ScenarioInfo struct {
 	Name        string `json:"name"`
 	Description string `json:"description,omitempty"`
 	Hash        string `json:"hash"`
+}
+
+// Health is the GET /healthz document: liveness, queue occupancy and
+// the durability tier's vital signs. Field names are wire-compatible
+// with the pre-typed map document; QueueCapacity, WorkersBusy and
+// Draining are additive.
+type Health struct {
+	OK     bool `json:"ok"`
+	Queued int  `json:"queued"`
+	// QueueCapacity is the queue bound; Queued == QueueCapacity means
+	// new submissions are being rejected with 503.
+	QueueCapacity int `json:"queueCapacity"`
+	Jobs          int `json:"jobs"`
+	// Cached/CachedDisk are the result cache's memory and disk entry
+	// counts.
+	Cached     int `json:"cached"`
+	CachedDisk int `json:"cachedDisk"`
+	Workers    int `json:"workers"`
+	// WorkersBusy is the number of workers currently running a job.
+	WorkersBusy int `json:"workersBusy"`
+	// Draining marks a server in graceful shutdown: it rejects new
+	// submissions and is letting running jobs finish.
+	Draining bool `json:"draining,omitempty"`
+	// Journal is present when the durable execution tier is configured.
+	Journal *JournalHealth `json:"journal,omitempty"`
+}
+
+// JournalHealth is the durability section of the health document.
+type JournalHealth struct {
+	// Segments/Records/Bytes describe the live journal: segment files on
+	// disk and appends since this process opened it.
+	Segments int   `json:"segments"`
+	Records  int64 `json:"records"`
+	Bytes    int64 `json:"bytes"`
+	// ReplayedRecords counts the records startup recovery replayed from
+	// the previous process; ReplayTorn reports that the replayed log
+	// ended in a torn (partially written) record, which was dropped.
+	ReplayedRecords int64 `json:"replayedRecords"`
+	ReplayTorn      bool  `json:"replayTorn"`
+	// RecoveredJobs counts the incomplete jobs recovery re-enqueued.
+	RecoveredJobs int `json:"recoveredJobs"`
+	// CleanShutdown reports that the previous process journaled its
+	// shutdown marker — false after a crash or hard kill.
+	CleanShutdown bool `json:"cleanShutdown"`
 }

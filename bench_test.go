@@ -9,7 +9,9 @@ import (
 	"dynsched/internal/experiments"
 	"dynsched/internal/interference"
 	"dynsched/internal/journal"
+	"dynsched/internal/metrics"
 	"dynsched/internal/netgraph"
+	"dynsched/internal/sim"
 	"dynsched/internal/sinr"
 	"dynsched/internal/static"
 )
@@ -243,6 +245,39 @@ func BenchmarkDynamicProtocolSlot(b *testing.B) {
 	}
 	b.ResetTimer()
 	res, err := Simulate(SimConfig{Slots: int64(b.N) + 64, Seed: 9}, model, proc, proto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.ProtocolErrors != 0 {
+		b.Fatal("protocol errors")
+	}
+}
+
+// BenchmarkDynamicProtocolSlotTraced is the same workload with the
+// metrics tracing observer attached (sampled resolve-time histogram
+// included) — the measured cost of leaving instrumentation on in
+// production. Compare against BenchmarkDynamicProtocolSlot for the
+// per-slot overhead; PERFORMANCE.md records the delta.
+func BenchmarkDynamicProtocolSlotTraced(b *testing.B) {
+	g := netgraph.LineNetwork(8, 1)
+	model := interference.Identity{Links: g.NumLinks()}
+	path, _ := netgraph.ShortestPath(g, 0, 7)
+	proc, err := StochasticAtRate(model, []Generator{
+		{Choices: []PathChoice{{Path: path, P: 0.4}}},
+	}, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := NewProtocol(ProtocolConfig{
+		Model: model, Alg: FullParallel{}, M: g.NumLinks(), Lambda: 0.4, Eps: 0.25,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	em := sim.NewEngineMetrics(metrics.NewRegistry())
+	b.ResetTimer()
+	res, err := SimulateContext(context.Background(), SimConfig{Slots: int64(b.N) + 64, Seed: 9},
+		model, proc, proto, em.NewObserver(0))
 	if err != nil {
 		b.Fatal(err)
 	}

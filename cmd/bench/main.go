@@ -39,7 +39,8 @@ const microBenches = "^(BenchmarkMeasure64Links|BenchmarkMeasure64LinksDense|" +
 	"BenchmarkIncrementalMeasure64|BenchmarkSINRSuccesses16Tx|" +
 	"BenchmarkSINRSuccessesAlloc16Tx|BenchmarkAffectanceMatrixBuild64|" +
 	"BenchmarkStaticDecay|BenchmarkStaticSpread|BenchmarkPowerControlSolve8|" +
-	"BenchmarkDynamicProtocolSlot|BenchmarkPlanSweep64|BenchmarkSlotResolve100k|" +
+	"BenchmarkDynamicProtocolSlot|BenchmarkDynamicProtocolSlotTraced|" +
+	"BenchmarkPlanSweep64|BenchmarkSlotResolve100k|" +
 	"BenchmarkJournalAppend|BenchmarkCheckpoint100k)$"
 
 // scaleBenches are the heavy benchmarks included only when -scale is

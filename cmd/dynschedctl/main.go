@@ -1,0 +1,98 @@
+// Command dynschedctl is the dynschedd operator console: inspect a
+// running daemon, follow jobs live, submit work, and diagnose common
+// operational problems — the CLI face of the /healthz, /v1 and
+// /metrics surfaces.
+//
+//	dynschedctl [-addr host:port] status
+//	dynschedctl [-addr host:port] watch <jobID>
+//	dynschedctl [-addr host:port] submit '<submission JSON>'   (or - for stdin)
+//	dynschedctl [-addr host:port] doctor
+//
+// status renders queue/worker occupancy, jobs by state, cache tiers,
+// throughput counters and the journal's durability state. watch
+// follows a job's event stream with a progress bar (slot-level for
+// single runs, unit-level for plans) and reports elided events when
+// the stream was thinned. submit posts a submission document — the
+// same JSON POST /v1/jobs takes — and with -watch follows it to
+// completion. doctor applies health heuristics (saturated queue, cold
+// or thrashing cache, stuck jobs, torn journal) and exits 0 when
+// healthy, 1 with warnings, 2 when the daemon is unreachable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dynsched/internal/cli"
+	"dynsched/internal/ctl"
+)
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: dynschedctl [-addr host:port] <status|watch|submit|doctor> [args]")
+	flag.PrintDefaults()
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "dynschedd address (host:port or URL)")
+	watchSubmitted := flag.Bool("watch", false, "after submit: follow the job to completion")
+	sampleGap := flag.Duration("sample-gap", 2*time.Second, "doctor: gap between job-list samples for stuck-job detection")
+	flag.Usage = func() { usage(os.Stderr) }
+	flag.Parse()
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	c := ctl.NewClient(*addr)
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dynschedctl:", err)
+		os.Exit(1)
+	}
+	switch cmd, args := flag.Arg(0), flag.Args(); cmd {
+	case "status":
+		if err := ctl.Status(ctx, c, os.Stdout); err != nil {
+			fail(err)
+		}
+	case "watch":
+		if len(args) != 2 {
+			fail(fmt.Errorf("watch needs exactly one job ID"))
+		}
+		if err := ctl.Watch(ctx, c, os.Stdout, args[1]); err != nil {
+			fail(err)
+		}
+	case "submit":
+		if len(args) != 2 {
+			fail(fmt.Errorf(`submit needs a submission document ('{"name":...}' or - for stdin)`))
+		}
+		body := []byte(args[1])
+		if args[1] == "-" {
+			var err error
+			if body, err = io.ReadAll(os.Stdin); err != nil {
+				fail(err)
+			}
+		}
+		view, cached, err := c.Submit(ctx, body)
+		if err != nil {
+			fail(err)
+		}
+		if cached {
+			fmt.Printf("%s done (served from cache)\n", view.ID)
+			return
+		}
+		fmt.Printf("%s %s\n", view.ID, view.State)
+		if *watchSubmitted {
+			if err := ctl.Watch(ctx, c, os.Stdout, view.ID); err != nil {
+				fail(err)
+			}
+		}
+	case "doctor":
+		os.Exit(ctl.Doctor(ctx, c, os.Stdout, *sampleGap))
+	case "":
+		usage(os.Stderr)
+		os.Exit(2)
+	default:
+		fail(fmt.Errorf("unknown command %q (want status, watch, submit or doctor)", cmd))
+	}
+}

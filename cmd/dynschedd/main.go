@@ -12,17 +12,27 @@
 // last checkpoint. The recovered result documents are byte-identical
 // to uninterrupted ones.
 //
+// Every daemon serves Prometheus text metrics at GET /metrics (queue,
+// workers, jobs by state, cache tiers, plan units, engine throughput,
+// journal traffic — see README §Observability for the catalog) and a
+// typed health document at GET /healthz; -pprof additionally serves
+// net/http/pprof under /debug/pprof/ for live profiling. The
+// dynschedctl companion command renders these surfaces (status,
+// watch, doctor).
+//
 // Examples:
 //
 //	dynschedd -addr :8080
 //	dynschedd -addr :8080 -workers 4 -queue 128 -cache-dir /var/cache/dynschedd
 //	dynschedd -addr :8080 -journal-dir /var/lib/dynschedd -cache-dir /var/cache/dynschedd
+//	dynschedd -addr :8080 -pprof
 //
 //	curl -s localhost:8080/v1/scenarios
 //	curl -s -XPOST localhost:8080/v1/jobs -d '{"name":"sinr-stochastic"}'
 //	curl -s localhost:8080/v1/jobs/job-1
 //	curl -sN localhost:8080/v1/jobs/job-1/events
 //	curl -s -XDELETE localhost:8080/v1/jobs/job-1
+//	curl -s localhost:8080/metrics
 //
 // The first SIGINT/SIGTERM stops accepting connections and drains:
 // running jobs get -shutdown-grace to finish, stragglers are dropped
@@ -38,6 +48,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -77,8 +88,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dynschedd:", err)
 		os.Exit(1)
 	}
+	handler := srv.Handler()
+	if so.Pprof {
+		// The service mux knows nothing about pprof; wrap it so the
+		// debug surface only exists when the operator asked for it.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {

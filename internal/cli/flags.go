@@ -51,6 +51,10 @@ type ServerOptions struct {
 	// ShutdownGrace is how long a draining shutdown lets running jobs
 	// finish before hard-cancelling them.
 	ShutdownGrace time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the service
+	// listener. Off by default: the profiling surface is a diagnostic
+	// tool, not part of the API.
+	Pprof bool
 }
 
 // RegisterServerFlags registers the dynschedd service flags onto fs,
@@ -66,6 +70,7 @@ func RegisterServerFlags(fs *flag.FlagSet, o *ServerOptions) {
 	fs.StringVar(&o.JournalDir, "journal-dir", o.JournalDir, "journal job lifecycle events to this directory and recover incomplete jobs on startup (empty = no durability)")
 	fs.Int64Var(&o.CheckpointEvery, "checkpoint-every", o.CheckpointEvery, "engine checkpoint period in slots with -journal-dir (0 = 10000, negative = off)")
 	fs.DurationVar(&o.ShutdownGrace, "shutdown-grace", o.ShutdownGrace, "how long a draining shutdown lets running jobs finish before dropping them for recovery")
+	fs.BoolVar(&o.Pprof, "pprof", o.Pprof, "serve net/http/pprof under /debug/pprof/ for live profiling")
 }
 
 // SignalContext returns a context cancelled by SIGINT/SIGTERM. The

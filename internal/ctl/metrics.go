@@ -1,0 +1,70 @@
+package ctl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Metrics is a parsed Prometheus text exposition document: every
+// sample line keyed by its full series name, labels included
+// (`dynsched_cache_hits_total{tier="memory"}` and
+// `dynsched_queue_depth` are both keys).
+type Metrics map[string]float64
+
+// ParseMetrics reads a text exposition document. Comment lines (#
+// HELP, # TYPE) are skipped; sample lines must be `series value`.
+func ParseMetrics(r io.Reader) (Metrics, error) {
+	m := Metrics{}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			return nil, fmt.Errorf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("unparseable value in %q: %v", line, err)
+		}
+		m[line[:i]] = v
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Get returns the series' value (0 when absent) — pass the full series
+// name, labels included.
+func (m Metrics) Get(series string) float64 { return m[series] }
+
+// Family sums every series of the named family across its label
+// combinations: Family("dynsched_cache_hits_total") adds the memory
+// and disk tiers. A histogram's _bucket/_sum/_count series are their
+// own families and are not folded in.
+func (m Metrics) Family(name string) float64 {
+	sum := 0.0
+	for series, v := range m {
+		if series == name || strings.HasPrefix(series, name+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// HistogramMean returns a histogram family's mean observation
+// (sum/count), with ok=false when it has no observations.
+func (m Metrics) HistogramMean(name string) (mean float64, ok bool) {
+	count := m[name+"_count"]
+	if count == 0 {
+		return 0, false
+	}
+	return m[name+"_sum"] / count, true
+}

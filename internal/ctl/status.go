@@ -1,0 +1,77 @@
+package ctl
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"dynsched/api"
+)
+
+// Status renders a one-screen overview of the daemon: queue and worker
+// occupancy, jobs by state, cache tiers, throughput counters from
+// /metrics, and the journal's durability state.
+func Status(ctx context.Context, c *Client, w io.Writer) error {
+	h, err := c.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("fetching health: %w", err)
+	}
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		return fmt.Errorf("listing jobs: %w", err)
+	}
+	byState := map[api.State]int{}
+	for _, j := range jobs {
+		byState[j.State]++
+	}
+
+	fmt.Fprintf(w, "dynschedd at %s\n", c.BaseURL)
+	fmt.Fprintf(w, "  queue    %d/%d queued, %d/%d workers busy", h.Queued, h.QueueCapacity, h.WorkersBusy, h.Workers)
+	if h.Draining {
+		fmt.Fprint(w, "  [draining]")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  jobs     %d registered (%d queued, %d running, %d done, %d failed, %d cancelled)\n",
+		h.Jobs, byState[api.StateQueued], byState[api.StateRunning], byState[api.StateDone],
+		byState[api.StateFailed], byState[api.StateCancelled])
+	fmt.Fprintf(w, "  cache    %d in memory, %d on disk\n", h.Cached, h.CachedDisk)
+
+	// The counters are best-effort decoration: a daemon predating
+	// /metrics still gets queue/jobs/cache/journal lines.
+	if m, err := c.Metrics(ctx); err == nil {
+		hits, misses := m.Family("dynsched_cache_hits_total"), m.Get("dynsched_cache_misses_total")
+		if lookups := hits + misses; lookups > 0 {
+			fmt.Fprintf(w, "  lookups  %.0f hits, %.0f misses (%.0f%% hit ratio)\n", hits, misses, 100*hits/lookups)
+		}
+		fmt.Fprintf(w, "  units    %.0f run, %.0f cached, %.0f failed",
+			m.Get(`dynsched_plan_units_total{outcome="run"}`),
+			m.Get(`dynsched_plan_units_total{outcome="cached"}`),
+			m.Get(`dynsched_plan_units_total{outcome="failed"}`))
+		if mean, ok := m.HistogramMean("dynsched_plan_unit_seconds"); ok {
+			fmt.Fprintf(w, " (mean %.3fs/unit)", mean)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  engine   %.0f slots, %.0f injected, %.0f delivered",
+			m.Get("dynsched_sim_slots_total"), m.Get("dynsched_sim_injected_total"), m.Get("dynsched_sim_delivered_total"))
+		if mean, ok := m.HistogramMean("dynsched_sim_slot_seconds"); ok {
+			fmt.Fprintf(w, " (sampled %.1fµs/slot)", mean*1e6)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if h.Journal != nil {
+		j := h.Journal
+		fmt.Fprintf(w, "  journal  %d segment(s), %d record(s), %d bytes; replayed %d record(s)",
+			j.Segments, j.Records, j.Bytes, j.ReplayedRecords)
+		if j.RecoveredJobs > 0 {
+			fmt.Fprintf(w, ", recovered %d job(s)", j.RecoveredJobs)
+		}
+		if j.ReplayTorn {
+			fmt.Fprint(w, ", torn tail dropped")
+		}
+		fmt.Fprintf(w, " (clean shutdown: %v)\n", j.CleanShutdown)
+	} else {
+		fmt.Fprintln(w, "  journal  off (no -journal-dir)")
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package ctl
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"dynsched/api"
+)
+
+// barWidth is the progress bar's character width.
+const barWidth = 30
+
+// bar renders `[#####.....]` for done of total.
+func bar(done, total int64) string {
+	if total <= 0 {
+		return "[" + strings.Repeat(".", barWidth) + "]"
+	}
+	filled := int(done * barWidth / total)
+	if filled > barWidth {
+		filled = barWidth
+	}
+	return "[" + strings.Repeat("#", filled) + strings.Repeat(".", barWidth-filled) + "]"
+}
+
+// Watch follows a job's event stream to its terminal event, rendering
+// slot-level progress for single runs and unit-level progress for
+// plans, then a final summary (elided-event count included when the
+// stream was thinned). It returns an error when the job failed, so the
+// command's exit code reflects the outcome.
+func Watch(ctx context.Context, c *Client, w io.Writer, id string) error {
+	if _, err := c.Job(ctx, id); err != nil {
+		return fmt.Errorf("looking up job %s: %w", id, err)
+	}
+	started := time.Now()
+	var terminal api.Event
+	err := c.Events(ctx, id, func(e api.Event) error {
+		switch e.Type {
+		case "queued", "started":
+			fmt.Fprintf(w, "%s %s\n", e.Job, e.Type)
+		case "progress":
+			p := e.Progress
+			if p == nil {
+				break
+			}
+			fmt.Fprintf(w, "%s %s %d/%d slots, %d delivered, %d in flight",
+				e.Job, bar(p.Slots, p.TotalSlots), p.Slots, p.TotalSlots, p.Delivered, p.InFlight)
+			if p.Latency.N > 0 {
+				fmt.Fprintf(w, ", latency mean %.1f max %.0f", p.Latency.Mean, p.Latency.Max)
+			}
+			fmt.Fprintln(w)
+		case "unit":
+			u := e.Unit
+			if u == nil {
+				break
+			}
+			tag := "ran"
+			if u.Cached {
+				tag = "cached"
+			}
+			fmt.Fprintf(w, "%s %s %d/%d units (%d cached) — unit %d %s\n",
+				e.Job, bar(int64(u.UnitsDone), int64(u.UnitsTotal)), u.UnitsDone, u.UnitsTotal, u.UnitsCached, u.Index, tag)
+		case "done", "failed", "cancelled":
+			terminal = e
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if terminal.Type == "" {
+		return fmt.Errorf("event stream for %s ended without a terminal event", id)
+	}
+
+	view, err := c.Job(ctx, id)
+	if err != nil {
+		return fmt.Errorf("fetching final state: %w", err)
+	}
+	fmt.Fprintf(w, "%s %s in %s", id, terminal.Type, time.Since(started).Round(time.Millisecond))
+	if terminal.Cached {
+		fmt.Fprint(w, " (served from cache)")
+	}
+	if view.UnitsTotal > 0 {
+		fmt.Fprintf(w, "; %d/%d units, %d cached", view.UnitsDone, view.UnitsTotal, view.UnitsCached)
+	}
+	if view.EventsDropped > 0 {
+		fmt.Fprintf(w, "; %d events elided from the stream", view.EventsDropped)
+	}
+	if view.Recovered {
+		fmt.Fprint(w, "; recovered after a restart")
+		if view.ResumedFromSlot > 0 {
+			fmt.Fprintf(w, " (resumed from slot %d)", view.ResumedFromSlot)
+		}
+	}
+	fmt.Fprintln(w)
+	// A live latency summary from the shared instruments — how long
+	// units take across the whole daemon, this job included.
+	if m, err := c.Metrics(ctx); err == nil {
+		if mean, ok := m.HistogramMean("dynsched_plan_unit_seconds"); ok && view.UnitsTotal > 0 {
+			fmt.Fprintf(w, "unit latency: mean %.3fs across %.0f fresh units daemon-wide\n",
+				mean, m.Get("dynsched_plan_unit_seconds_count"))
+		}
+	}
+	switch terminal.Type {
+	case "failed":
+		return fmt.Errorf("job %s failed: %s", id, view.Error)
+	case "cancelled":
+		return fmt.Errorf("job %s was cancelled", id)
+	}
+	return nil
+}

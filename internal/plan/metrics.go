@@ -1,0 +1,53 @@
+package plan
+
+import (
+	"time"
+
+	"dynsched/internal/metrics"
+)
+
+// Metrics is the planner's instrument bundle: how many units ran
+// fresh, were served from the cache, or failed, and the wall time of
+// the fresh runs. One bundle serves every plan executed through the
+// same Options wiring (dynschedd shares one across all jobs).
+type Metrics struct {
+	UnitsRun    *metrics.Counter
+	UnitsCached *metrics.Counter
+	UnitsFailed *metrics.Counter
+	UnitSeconds *metrics.Histogram
+}
+
+// unitSecondsBuckets spans 1ms to ~17min: CI-scale units finish in
+// milliseconds, full-length sweep units in seconds to minutes.
+var unitSecondsBuckets = metrics.ExpBuckets(0.001, 2, 20)
+
+// NewMetrics registers the planner instruments on r (idempotent).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		UnitsRun:    r.CounterVec("dynsched_plan_units_total", "Plan units by outcome: run fresh, served from cache, or failed.", "outcome").With("run"),
+		UnitsCached: r.CounterVec("dynsched_plan_units_total", "Plan units by outcome: run fresh, served from cache, or failed.", "outcome").With("cached"),
+		UnitsFailed: r.CounterVec("dynsched_plan_units_total", "Plan units by outcome: run fresh, served from cache, or failed.", "outcome").With("failed"),
+		UnitSeconds: r.Histogram("dynsched_plan_unit_seconds", "Wall time of freshly-executed plan units (cache hits excluded).", unitSecondsBuckets),
+	}
+}
+
+// observeCached records one cache-served unit.
+func (m *Metrics) observeCached() {
+	if m == nil {
+		return
+	}
+	m.UnitsCached.Inc()
+}
+
+// observeRun records one freshly-executed unit and its wall time.
+func (m *Metrics) observeRun(d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.UnitsFailed.Inc()
+		return
+	}
+	m.UnitsRun.Inc()
+	m.UnitSeconds.Observe(d.Seconds())
+}

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"dynsched/internal/sim"
 )
@@ -63,6 +64,9 @@ type Options[T any] struct {
 	// serialized and carry monotonic Progress counts; keep the callback
 	// cheap — it runs under the executor's accounting lock.
 	OnUnit func(u Unit, value T, cached bool, err error, p Progress)
+	// Metrics, when set, records every unit's outcome (run, cached,
+	// failed) and fresh-run wall time into the bundle's instruments.
+	Metrics *Metrics
 }
 
 // Outcome records every unit's fate, indexed by Unit.Index. Values may
@@ -150,6 +154,7 @@ func Execute[T any](ctx context.Context, units []Unit, opts Options[T], run func
 		}
 		if opts.Lookup != nil {
 			if v, ok := opts.Lookup(units[i]); ok {
+				opts.Metrics.observeCached()
 				finish(i, v, true, nil)
 				continue
 			}
@@ -163,8 +168,10 @@ func Execute[T any](ctx context.Context, units []Unit, opts Options[T], run func
 		// in-flight unit, and a unit's own resources are released as soon
 		// as it returns.
 		uctx, cancel := context.WithCancel(ctx)
+		started := time.Now()
 		v, err := run(uctx, units[i])
 		cancel()
+		opts.Metrics.observeRun(time.Since(started), err)
 		finish(i, v, false, err)
 	})
 

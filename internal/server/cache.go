@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"dynsched/internal/metrics"
 )
 
 // Cache is the content-addressed result store: marshaled result
@@ -30,7 +32,51 @@ type Cache struct {
 	diskMu  sync.Mutex
 	diskMax int
 	disk    map[string]struct{}
+
+	// m, when set via instrument, counts hits/misses/evictions. All
+	// paths tolerate a nil bundle, so the cache works uninstrumented.
+	m *cacheMetrics
 }
+
+// cacheMetrics is the cache's instrument bundle (see metrics.go).
+type cacheMetrics struct {
+	hitsMem, hitsDisk, misses *metrics.Counter
+	evictMem, evictDisk       *metrics.Counter
+}
+
+func (m *cacheMetrics) hitMemory() {
+	if m != nil {
+		m.hitsMem.Inc()
+	}
+}
+
+func (m *cacheMetrics) hitDisk() {
+	if m != nil {
+		m.hitsDisk.Inc()
+	}
+}
+
+func (m *cacheMetrics) miss() {
+	if m != nil {
+		m.misses.Inc()
+	}
+}
+
+func (m *cacheMetrics) evictMemory() {
+	if m != nil {
+		m.evictMem.Inc()
+	}
+}
+
+func (m *cacheMetrics) evictDiskN(n int) {
+	if m != nil && n > 0 {
+		m.evictDisk.Add(uint64(n))
+	}
+}
+
+// instrument attaches the counter bundle. Call before the cache is
+// shared across goroutines (the field is written without a lock).
+func (c *Cache) instrument(m *cacheMetrics) { c.m = m }
 
 // NewCache builds a cache holding up to max in-memory entries (max <= 0
 // disables the memory tier) spilling to dir (empty = no disk tier),
@@ -69,16 +115,20 @@ func (c *Cache) Get(hash string) ([]byte, bool) {
 	c.mu.Lock()
 	if data, ok := c.entries[hash]; ok {
 		c.mu.Unlock()
+		c.m.hitMemory()
 		return data, true
 	}
 	c.mu.Unlock()
 	if c.dir == "" {
+		c.m.miss()
 		return nil, false
 	}
 	data, err := os.ReadFile(c.path(hash))
 	if err != nil {
+		c.m.miss()
 		return nil, false
 	}
+	c.m.hitDisk()
 	c.put(hash, data, false)
 	return data, true
 }
@@ -98,6 +148,7 @@ func (c *Cache) put(hash string, data []byte, spill bool) {
 		for len(c.order) > c.max {
 			delete(c.entries, c.order[0])
 			c.order = c.order[1:]
+			c.m.evictMemory()
 		}
 	}
 	c.mu.Unlock()
@@ -139,13 +190,16 @@ func (c *Cache) evictDiskLocked() {
 		files = append(files, aged{hash: hash, mtime: info.ModTime().UnixNano()})
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	removed := 0
 	for _, f := range files {
 		if len(c.disk) <= c.diskMax {
 			break
 		}
 		_ = os.Remove(c.path(f.hash))
 		delete(c.disk, f.hash)
+		removed++
 	}
+	c.m.evictDiskN(removed)
 }
 
 // Len returns the number of in-memory entries.

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"dynsched"
+	"dynsched/api"
 )
 
 // maxBodyBytes bounds submission bodies; scenario specs are small.
@@ -24,6 +25,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.Handle("/metrics", s.metrics.reg.Handler())
 	return mux
 }
 
@@ -144,6 +146,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			// The queued job went terminal right here; journal it (a
 			// running job's outcome is journaled by its worker).
 			s.journalFinish(j, StateCancelled)
+			s.markFinished(StateCancelled)
 		}
 		writeJSON(w, http.StatusOK, j.View(false))
 	case sub == "events" && r.Method == http.MethodGet:
@@ -204,27 +207,40 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	doc := map[string]any{
-		"ok":         true,
-		"queued":     s.queueLen(),
-		"jobs":       s.jobCount(),
-		"cached":     s.cache.Len(),
-		"cachedDisk": s.cache.DiskLen(),
-		"workers":    s.cfg.Workers,
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// health assembles the typed /healthz document.
+func (s *Server) health() api.Health {
+	s.mu.Lock()
+	busy := len(s.running)
+	draining := s.draining
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	doc := api.Health{
+		OK:            true,
+		Queued:        s.queueLen(),
+		QueueCapacity: s.cfg.QueueDepth,
+		Jobs:          jobs,
+		Cached:        s.cache.Len(),
+		CachedDisk:    s.cache.DiskLen(),
+		Workers:       s.cfg.Workers,
+		WorkersBusy:   busy,
+		Draining:      draining,
 	}
 	if s.journal != nil {
 		st := s.journal.Stats()
-		doc["journal"] = map[string]any{
-			"segments":        st.Segments,
-			"records":         st.Records,
-			"bytes":           st.Bytes,
-			"replayedRecords": s.replayStats.Records,
-			"replayTorn":      s.replayStats.Torn,
-			"recoveredJobs":   s.recovered,
-			"cleanShutdown":   s.cleanShutdown,
+		doc.Journal = &api.JournalHealth{
+			Segments:        st.Segments,
+			Records:         st.Records,
+			Bytes:           st.Bytes,
+			ReplayedRecords: s.replayStats.Records,
+			ReplayTorn:      s.replayStats.Torn,
+			RecoveredJobs:   s.recovered,
+			CleanShutdown:   s.cleanShutdown,
 		}
 	}
-	writeJSON(w, http.StatusOK, doc)
+	return doc
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

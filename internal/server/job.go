@@ -64,6 +64,11 @@ type Job struct {
 	unitsDone   int
 	unitsCached int
 
+	// eventsDropped counts unit completions elided from the event
+	// stream by thinning (plans beyond maxUnitEvents units), advanced
+	// under mu alongside the units counters.
+	eventsDropped int
+
 	// recovered marks a job restored from the journal after a restart;
 	// resumedFromSlot is the highest slot any of its simulations resumed
 	// from via an on-disk checkpoint. reps preserves the original
@@ -136,6 +141,8 @@ func (j *Job) View(withResult bool) JobView {
 		UnitsCached:     j.unitsCached,
 		Recovered:       j.recovered,
 		ResumedFromSlot: j.resumedFromSlot,
+		Events:          len(j.events),
+		EventsDropped:   j.eventsDropped,
 	}
 	if withResult && j.state == StateDone {
 		v.Result = json.RawMessage(j.result)

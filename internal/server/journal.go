@@ -79,7 +79,14 @@ func (s *Server) appendRecord(rec journalRecord, sync bool) error {
 	if err != nil {
 		return err
 	}
-	return s.journal.Append(payload, sync)
+	if err := s.journal.Append(payload, sync); err != nil {
+		return err
+	}
+	s.metrics.journalAppends.Inc()
+	if sync {
+		s.metrics.journalFsyncs.Inc()
+	}
+	return nil
 }
 
 // journalSubmit records a job entering the queue.
@@ -206,6 +213,7 @@ func (s *Server) resubmit(rj *replayedJob) {
 		j.publish(Event{Type: "failed", Error: j.errMsg})
 		s.register(j)
 		s.journalFinish(j, StateFailed)
+		s.markFinished(StateFailed)
 		return
 	}
 	if p.Kind != dynsched.PlanRun {
@@ -221,6 +229,7 @@ func (s *Server) resubmit(rj *replayedJob) {
 		j.publish(Event{Type: "failed", Error: j.errMsg})
 		s.register(j)
 		s.journalFinish(j, StateFailed)
+		s.markFinished(StateFailed)
 		return
 	}
 	s.register(j)
@@ -266,7 +275,11 @@ func (s *Server) saveCheckpoint(hash string, cp *sim.Checkpoint) error {
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, s.ckptPath(hash))
+	if err := os.Rename(tmp, s.ckptPath(hash)); err != nil {
+		return err
+	}
+	s.metrics.checkpointWrites.Inc()
+	return nil
 }
 
 // loadCheckpoint returns the unit's stored checkpoint, nil when there

@@ -244,6 +244,13 @@ func TestServerUnitEventCap(t *testing.T) {
 	if lastDone != len(values) {
 		t.Fatalf("final unit event reports %d done, want %d", lastDone, len(values))
 	}
+	// The view accounts for every elided completion, so a client can
+	// report "N events elided" instead of silently showing a sparse
+	// stream.
+	if want := len(values) - unitEvents; done.EventsDropped != want {
+		t.Fatalf("eventsDropped %d, want %d (%d units, %d stream entries)",
+			done.EventsDropped, want, len(values), unitEvents)
+	}
 }
 
 // TestServerSeedZeroOverride pins the satellite fix: the wire fields

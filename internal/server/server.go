@@ -101,9 +101,10 @@ func (c Config) withDefaults() Config {
 // Server is the simulation service: job registry, bounded queue,
 // worker pool and result cache behind an http.Handler.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	queue chan *Job
+	cfg     Config
+	cache   *Cache
+	queue   chan *Job
+	metrics *serverMetrics
 
 	// Durability (nil/zero when Config.JournalDir is empty).
 	journal       *journal.Journal
@@ -138,6 +139,14 @@ func New(cfg Config) (*Server, error) {
 		jobs:    map[string]*Job{},
 		running: map[string]*Job{},
 	}
+	s.metrics = newServerMetrics(s)
+	s.cache.instrument(&cacheMetrics{
+		hitsMem:   s.metrics.cacheHitsMem,
+		hitsDisk:  s.metrics.cacheHitsDisk,
+		misses:    s.metrics.cacheMisses,
+		evictMem:  s.metrics.cacheEvictMem,
+		evictDisk: s.metrics.cacheEvictDisk,
+	})
 	if cfg.JournalDir != "" {
 		if err := s.recover(cfg.JournalDir); err != nil {
 			return nil, fmt.Errorf("server: %w", err)
@@ -304,6 +313,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 			j.mu.Unlock()
 			if !drop {
 				s.journalFinish(j, StateCancelled)
+				s.markFinished(StateCancelled)
 			}
 			return
 		}
@@ -312,6 +322,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		j.publishLocked(Event{Type: "failed", Error: j.errMsg})
 		j.mu.Unlock()
 		s.journalFinish(j, StateFailed)
+		s.markFinished(StateFailed)
 		return
 	}
 	s.cache.Put(j.Hash, data)
@@ -325,6 +336,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	j.publishLocked(Event{Type: "done"})
 	j.mu.Unlock()
 	s.journalFinish(j, StateDone)
+	s.markFinished(StateDone)
 }
 
 // maxUnitEvents bounds one plan job's share of the event log, exactly
@@ -352,6 +364,10 @@ func (s *Server) runPlan(ctx context.Context, j *Job) ([]byte, error) {
 	j.compiled = nil
 	stride := (len(p.Units) + maxUnitEvents - 1) / maxUnitEvents
 	opts := dynsched.ExecOptions{
+		Metrics: s.metrics.plan,
+		Observers: func(u dynsched.PlanUnit) []dynsched.SimObserver {
+			return []dynsched.SimObserver{s.metrics.sim.NewObserver(0)}
+		},
 		Compiled: func(u dynsched.PlanUnit) *dynsched.CompiledScenario {
 			if u.Index == 0 {
 				return compiled // the submit-time compilation; nil after a cache hit is fine
@@ -375,7 +391,11 @@ func (s *Server) runPlan(ctx context.Context, j *Job) ([]byte, error) {
 			}
 			j.mu.Lock()
 			j.unitsDone, j.unitsCached = prog.Done, prog.Cached
-			if prog.Done%stride == 0 || prog.Done == prog.Total {
+			if prog.Done%stride != 0 && prog.Done != prog.Total {
+				// Thinned out of the stream; the view's counter lets
+				// clients report how many completions were elided.
+				j.eventsDropped++
+			} else {
 				j.publishLocked(Event{Type: "unit", Unit: &UnitEvent{
 					Index:       u.Index,
 					Hash:        u.Hash,
@@ -459,7 +479,7 @@ func (s *Server) simulate(ctx context.Context, j *Job) (*dynsched.SimResult, err
 		snap := p
 		j.publish(Event{Type: "progress", Progress: &snap})
 	})
-	c.Observers = append(c.Observers, progress)
+	c.Observers = append(c.Observers, progress, s.metrics.sim.NewObserver(0))
 	if s.journal != nil && s.cfg.CheckpointEvery > 0 &&
 		sim.SupportsCheckpoint(c.Model, c.Process, c.Protocol) {
 		spec := &sim.CheckpointSpec{
@@ -493,6 +513,8 @@ func (s *Server) submit(sc dynsched.Scenario, compiled *dynsched.CompiledScenari
 			j.result = data
 			j.publish(Event{Type: "done", Cached: true})
 			s.register(j)
+			s.metrics.jobsSubmitted.With(string(dynsched.PlanRun)).Inc()
+			s.markFinished(StateDone)
 			return j, true, nil
 		}
 	}
@@ -511,6 +533,7 @@ func (s *Server) submit(sc dynsched.Scenario, compiled *dynsched.CompiledScenari
 	}
 	s.register(j)
 	s.journalSubmit(j, 1)
+	s.metrics.jobsSubmitted.With(string(dynsched.PlanRun)).Inc()
 	return j, false, nil
 }
 
@@ -534,6 +557,8 @@ func (s *Server) submitPlan(p *dynsched.Plan, compiled *dynsched.CompiledScenari
 			j.unitsCached = len(p.Units)
 			j.publish(Event{Type: "done", Cached: true})
 			s.register(j)
+			s.metrics.jobsSubmitted.With(string(p.Kind)).Inc()
+			s.markFinished(StateDone)
 			return j, true, nil
 		}
 	}
@@ -554,6 +579,7 @@ func (s *Server) submitPlan(p *dynsched.Plan, compiled *dynsched.CompiledScenari
 	}
 	s.register(j)
 	s.journalSubmit(j, p.Reps)
+	s.metrics.jobsSubmitted.With(string(p.Kind)).Inc()
 	return j, false, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"dynsched"
+	"dynsched/api"
 	"dynsched/internal/sim"
 )
 
@@ -449,13 +451,29 @@ func TestServerHealthAndJobList(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var health map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if health["ok"] != true {
+	// The document round-trips through the typed wire struct...
+	var health api.Health
+	if err := json.Unmarshal(raw, &health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.OK || health.Workers != 1 || health.QueueCapacity != 4 || health.Draining {
 		t.Fatalf("health %+v", health)
+	}
+	// ...and still serves every pre-typed field name, so clients built
+	// against the old map document keep decoding.
+	var fields map[string]any
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"ok", "queued", "queueCapacity", "jobs", "cached", "cachedDisk", "workers", "workersBusy"} {
+		if _, ok := fields[key]; !ok {
+			t.Errorf("health document lost the %q field: %s", key, raw)
+		}
 	}
 
 	_, job := submitScenario(t, ts, lineScenario("listed", 2_000, 1))

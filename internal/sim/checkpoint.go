@@ -244,7 +244,9 @@ func restoreCheckpoint(cp *Checkpoint, cfg Config, src *randx.CountingSource, re
 			return 0, fmt.Errorf("checkpoint has %d observer states, run has %d observers — attach the same observers as the captured run", len(cp.Observers), len(obs))
 		}
 		for i, raw := range cp.Observers {
-			if raw == nil {
+			if raw == nil || string(raw) == "null" {
+				// Non-checkpointable observers capture no state; a JSON
+				// round-trip through disk renders that absence as null.
 				continue
 			}
 			c, ok := obs[i].(Checkpointable)

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"dynsched/internal/inject"
+	"dynsched/internal/interference"
+	"dynsched/internal/metrics"
+	"dynsched/internal/testenv"
+)
+
+// traceWorkload builds the small single-hop workload the observer
+// tests run: the identity model under the test FIFO protocol.
+func traceWorkload(t testing.TB) (interference.Model, inject.Process, Protocol) {
+	t.Helper()
+	m := interference.Identity{Links: 4}
+	proc := singleHopProcess(t.(*testing.T), m, 4, 0.3)
+	return m, proc, newFifoProto(4)
+}
+
+// TestMetricsObserverCounts pins that the tracing observer's flushed
+// totals match the run's own counters exactly — the local-accumulate /
+// sample-flush scheme must not lose the tail of a run.
+func TestMetricsObserverCounts(t *testing.T) {
+	model, proc, proto := traceWorkload(t)
+	reg := metrics.NewRegistry()
+	em := NewEngineMetrics(reg)
+	// A sampling period that does not divide the slot count, so the
+	// final flush path is exercised.
+	obs := em.NewObserver(192)
+	res, err := Run(context.Background(), Config{Slots: 5_000, Seed: 3}, model, proc, proto, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := em.Slots.Value(); int64(got) != res.Slots {
+		t.Errorf("slots counter %d, result %d", got, res.Slots)
+	}
+	if got := em.Injected.Value(); int64(got) != res.Injected {
+		t.Errorf("injected counter %d, result %d", got, res.Injected)
+	}
+	if got := em.Delivered.Value(); int64(got) != res.Delivered {
+		t.Errorf("delivered counter %d, result %d", got, res.Delivered)
+	}
+	if em.SlotSeconds.Count() == 0 {
+		t.Error("no slot-time samples recorded")
+	}
+	// ~one sample per window; the exact count depends on alignment but
+	// must stay well under one per slot.
+	if n := em.SlotSeconds.Count(); n > 5_000/192+2 {
+		t.Errorf("%d slot-time samples for 5000 slots at period 192", n)
+	}
+}
+
+// TestMetricsObserverSharedBundle pins that two runs flushing into one
+// bundle accumulate, which is how the daemon aggregates across jobs.
+func TestMetricsObserverSharedBundle(t *testing.T) {
+	model, proc, proto := traceWorkload(t)
+	reg := metrics.NewRegistry()
+	em := NewEngineMetrics(reg)
+	r1, err := Run(context.Background(), Config{Slots: 1_000, Seed: 3}, model, proc, proto, em.NewObserver(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model2, proc2, proto2 := traceWorkload(t)
+	r2, err := Run(context.Background(), Config{Slots: 1_000, Seed: 4}, model2, proc2, proto2, em.NewObserver(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := em.Slots.Value(), uint64(r1.Slots+r2.Slots); got != want {
+		t.Errorf("shared slots counter %d, want %d", got, want)
+	}
+}
+
+// TestMetricsObserverZeroAlloc pins the observer's per-event paths as
+// allocation-free: the whole point of the local-accumulate design is
+// that tracing can stay attached to every simulation the daemon runs
+// without disturbing the zero-alloc hot loop.
+func TestMetricsObserverZeroAlloc(t *testing.T) {
+	testenv.SkipIfRace(t)
+	reg := metrics.NewRegistry()
+	em := NewEngineMetrics(reg)
+	obs := em.NewObserver(64)
+	view := SlotView{InFlight: 3}
+	pkts := make([]inject.Packet, 2)
+	var tick int64
+	if got := testing.AllocsPerRun(1000, func() {
+		obs.OnInject(tick, pkts)
+		obs.OnDeliver(tick, Delivery{})
+		obs.OnSlot(tick, view)
+		tick++
+	}); got != 0 {
+		t.Errorf("observer allocates %.1f objects per slot, want 0", got)
+	}
+}

@@ -261,6 +261,11 @@ type PlanResult struct {
 	Points []SweepPoint `json:"points,omitempty"`
 }
 
+// PlanMetrics is the planner's instrument bundle — units run, cached
+// and failed, plus a fresh-run wall-time histogram. dynschedd builds
+// one against its metrics registry and shares it across all jobs.
+type PlanMetrics = plan.Metrics
+
 // ExecOptions parameterises Plan.Execute.
 type ExecOptions struct {
 	// Parallel caps the unit worker pool (0 = the scenario's
@@ -284,6 +289,16 @@ type ExecOptions struct {
 	// unit order, then runs in completion order. Calls are serialized
 	// with monotonic counts; keep the callback cheap.
 	OnUnit func(u PlanUnit, cached bool, err error, p PlanProgress)
+	// Observers, when set, supplies extra per-run observers for each
+	// freshly-executed unit (cache hits never run, so they get none).
+	// Called once per unit from its pool worker; return fresh observer
+	// instances — a unit's observers are driven from that unit's engine
+	// goroutine. dynschedd attaches its engine-metrics tracing observer
+	// here.
+	Observers func(u PlanUnit) []SimObserver
+	// Metrics, when set, counts every unit's outcome (run/cached/failed)
+	// and records fresh-run wall time (see plan.Metrics).
+	Metrics *PlanMetrics
 	// CheckpointEvery, when positive, checkpoints each running unit
 	// every so many slots (at the protocol's next frame boundary),
 	// handing the snapshots to SaveCheckpoint. Units whose components
@@ -323,7 +338,7 @@ func (p *Plan) Execute(ctx context.Context, opts ExecOptions) (*PlanResult, erro
 	for i, pu := range p.Units {
 		units[i] = plan.Unit{Index: i, Key: pu.Hash, Label: pu.Label()}
 	}
-	popts := plan.Options[*SimResult]{Parallel: opts.Parallel}
+	popts := plan.Options[*SimResult]{Parallel: opts.Parallel, Metrics: opts.Metrics}
 	if popts.Parallel == 0 {
 		popts.Parallel = p.Source.Sim.Parallel
 	}
@@ -346,6 +361,9 @@ func (p *Plan) Execute(ctx context.Context, opts ExecOptions) (*PlanResult, erro
 			if c, cerr = pu.Scenario.Compile(); cerr != nil {
 				return nil, cerr
 			}
+		}
+		if opts.Observers != nil {
+			c.Observers = append(c.Observers, opts.Observers(pu)...)
 		}
 		if (opts.CheckpointEvery > 0 || opts.LoadCheckpoint != nil) &&
 			sim.SupportsCheckpoint(c.Model, c.Process, c.Protocol) {

@@ -1,17 +1,22 @@
 package dynsched
 
 import (
+	"context"
 	"runtime"
 	"runtime/debug"
 	"testing"
 
+	"dynsched/internal/metrics"
+	"dynsched/internal/sim"
 	"dynsched/internal/testenv"
 )
 
 // simulateAllocs runs the quick-start workload for the given horizon
 // and returns the total heap allocations the run performed (GC off,
-// single goroutine, so the Mallocs delta is exact).
-func simulateAllocs(t *testing.T, slots int64) uint64 {
+// single goroutine, so the Mallocs delta is exact). Observers are
+// attached to the run but constructed by the caller, outside the
+// measured window.
+func simulateAllocs(t *testing.T, slots int64, obs ...SimObserver) uint64 {
 	t.Helper()
 	g := LineNetwork(8, 1)
 	model := Identity{Links: g.NumLinks()}
@@ -30,7 +35,7 @@ func simulateAllocs(t *testing.T, slots int64) uint64 {
 	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	res, err := Simulate(SimConfig{Slots: slots, Seed: 9}, model, proc, proto)
+	res, err := SimulateContext(context.Background(), SimConfig{Slots: slots, Seed: 9}, model, proc, proto, obs...)
 	runtime.ReadMemStats(&after)
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +67,27 @@ func TestDynamicProtocolSteadyStateAllocs(t *testing.T) {
 	// would show up as ≥ 0.4.
 	if perSlot > 0.02 {
 		t.Errorf("steady state allocates %.4f objects/slot (%d extra allocs over %d slots), want ~0",
+			perSlot, extra, long-short)
+	}
+}
+
+// TestDynamicProtocolSteadyStateAllocsTraced is the same guard with the
+// metrics tracing observer attached: instrumentation must not cost the
+// hot loop its zero-allocation property. The observer accumulates into
+// plain int64 fields per slot and flushes to the shared counters once,
+// at OnDone; the sampled resolve-time histogram observes via binary
+// search into preallocated buckets.
+func TestDynamicProtocolSteadyStateAllocsTraced(t *testing.T) {
+	testenv.SkipIfRace(t)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	em := sim.NewEngineMetrics(metrics.NewRegistry())
+	const short, long = 4_000, 24_000
+	shortAllocs := simulateAllocs(t, short, em.NewObserver(0))
+	longAllocs := simulateAllocs(t, long, em.NewObserver(0))
+	extra := int64(longAllocs) - int64(shortAllocs)
+	perSlot := float64(extra) / float64(long-short)
+	if perSlot > 0.02 {
+		t.Errorf("traced steady state allocates %.4f objects/slot (%d extra allocs over %d slots), want ~0",
 			perSlot, extra, long-short)
 	}
 }
