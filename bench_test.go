@@ -227,6 +227,25 @@ func BenchmarkPowerControlSolve8(b *testing.B) {
 	}
 }
 
+// benchWarmReset resets the benchmark clock and allocation counters
+// once the engine has executed the warm-up slots, so the measured
+// window covers only the steady state: engine setup and cold-start
+// buffer growth are excluded. Without it, small fixed iteration counts
+// (-benchtime 100x, the committed-baseline convention) amortise the
+// setup allocations over too few slots and report a spurious nonzero
+// allocs/op on a zero-alloc steady-state path.
+type benchWarmReset struct {
+	BaseObserver
+	b    *testing.B
+	warm int64
+}
+
+func (o *benchWarmReset) OnSlot(t int64, v SlotView) {
+	if t == o.warm {
+		o.b.ResetTimer()
+	}
+}
+
 func BenchmarkDynamicProtocolSlot(b *testing.B) {
 	g := netgraph.LineNetwork(8, 1)
 	model := interference.Identity{Links: g.NumLinks()}
@@ -244,7 +263,8 @@ func BenchmarkDynamicProtocolSlot(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	res, err := Simulate(SimConfig{Slots: int64(b.N) + 64, Seed: 9}, model, proc, proto)
+	res, err := SimulateContext(context.Background(), SimConfig{Slots: int64(b.N) + 64, Seed: 9},
+		model, proc, proto, &benchWarmReset{b: b, warm: 63})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -277,7 +297,7 @@ func BenchmarkDynamicProtocolSlotTraced(b *testing.B) {
 	em := sim.NewEngineMetrics(metrics.NewRegistry())
 	b.ResetTimer()
 	res, err := SimulateContext(context.Background(), SimConfig{Slots: int64(b.N) + 64, Seed: 9},
-		model, proc, proto, em.NewObserver(0))
+		model, proc, proto, em.NewObserver(0), &benchWarmReset{b: b, warm: 63})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -345,11 +365,11 @@ func benchIndexedModel(b *testing.B, n int) *sinr.FixedPower {
 	return m
 }
 
-func benchSlotResolve(b *testing.B, n, k int) {
+func benchSlotResolve(b *testing.B, n, k, workers int) {
 	m := benchIndexedModel(b, n)
 	rng := rand.New(rand.NewSource(6))
 	tx := rng.Perm(n)[:k]
-	resolve := m.NewResolver()
+	resolve := m.NewResolverN(workers)
 	resolve(tx) // warm the per-resolver scratch buffers
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -358,8 +378,42 @@ func benchSlotResolve(b *testing.B, n, k int) {
 	}
 }
 
-func BenchmarkSlotResolve100k(b *testing.B) { benchSlotResolve(b, 100_000, 4096) }
-func BenchmarkSlotResolve1M(b *testing.B)   { benchSlotResolve(b, 1_000_000, 8192) }
+// The serial benches pin workers at 1 so their ns/op baselines are
+// meaningful on any machine; the parallel variant pins the intra-slot
+// fan-out at 4 workers — the ≥3× scaling target on 4+ cores, measured
+// against BenchmarkSlotResolve1M.
+func BenchmarkSlotResolve100k(b *testing.B)       { benchSlotResolve(b, 100_000, 4096, 1) }
+func BenchmarkSlotResolve1M(b *testing.B)         { benchSlotResolve(b, 1_000_000, 8192, 1) }
+func BenchmarkSlotResolve1MParallel(b *testing.B) { benchSlotResolve(b, 1_000_000, 8192, 4) }
+
+// BenchmarkSlotResolveDelta100k alternates between two transmission
+// sets sharing most of their members — the cross-slot shape the
+// incremental grid update serves in O(|delta|) instead of an O(k)
+// rebuild. The bench fails if the delta path never engages, so it
+// doubles as a regression guard on the TryUpdate precondition.
+func BenchmarkSlotResolveDelta100k(b *testing.B) {
+	const n, k, overlap = 100_000, 4096, 256
+	m := benchIndexedModel(b, n)
+	rng := rand.New(rand.NewSource(7))
+	base := rng.Perm(n)[:k+overlap]
+	txA, txB := base[:k], base[overlap:]
+	resolve := m.NewResolverN(1)
+	resolve(txA) // warm scratch and seed the grid selection
+	resolve(txB)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			resolve(txA)
+		} else {
+			resolve(txB)
+		}
+	}
+	b.StopTimer()
+	if st := m.ResolveStats(); st.GridDeltaUpdates == 0 {
+		b.Fatalf("incremental grid path never engaged: %+v", st)
+	}
+}
 
 // ---- Durability benchmarks: journal appends and engine checkpoints ----
 

@@ -40,13 +40,13 @@ const microBenches = "^(BenchmarkMeasure64Links|BenchmarkMeasure64LinksDense|" +
 	"BenchmarkSINRSuccessesAlloc16Tx|BenchmarkAffectanceMatrixBuild64|" +
 	"BenchmarkStaticDecay|BenchmarkStaticSpread|BenchmarkPowerControlSolve8|" +
 	"BenchmarkDynamicProtocolSlot|BenchmarkDynamicProtocolSlotTraced|" +
-	"BenchmarkPlanSweep64|BenchmarkSlotResolve100k|" +
+	"BenchmarkPlanSweep64|BenchmarkSlotResolve100k|BenchmarkSlotResolveDelta100k|" +
 	"BenchmarkJournalAppend|BenchmarkCheckpoint100k)$"
 
 // scaleBenches are the heavy benchmarks included only when -scale is
 // set: a million-link model takes seconds to construct, which is fine
 // for a baseline refresh but not for the CI regression smoke.
-const scaleBenches = "BenchmarkSlotResolve1M"
+const scaleBenches = "BenchmarkSlotResolve1M|BenchmarkSlotResolve1MParallel"
 
 // Entry is one benchmark's measurement.
 type Entry struct {

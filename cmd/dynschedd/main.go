@@ -73,6 +73,8 @@ func main() {
 		ProgressEvery:   so.ProgressEvery,
 		JournalDir:      so.JournalDir,
 		CheckpointEvery: so.CheckpointEvery,
+
+		ResolveParallelism: so.ResolveParallelism,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynschedd:", err)

@@ -57,6 +57,12 @@ type Options struct {
 	DenseMaxLinks int     `json:"denseMaxLinks"`
 	FarFloor      float64 `json:"farFloor"`
 	CellSize      float64 `json:"cellSize"`
+
+	// ResolveParallelism sets the intra-slot interference-resolution
+	// worker count baked into SINR model resolvers (0 = GOMAXPROCS,
+	// 1 = serial). A pure execution knob: results are bit-identical at
+	// every value.
+	ResolveParallelism int `json:"resolveParallelism,omitempty"`
 }
 
 // ModelDiag records which interference-table backing a built workload
@@ -161,6 +167,7 @@ func modelOptions(o Options) (sinr.Options, error) {
 		DenseMaxLinks: o.DenseMaxLinks,
 		FarFloor:      o.FarFloor,
 		CellSize:      o.CellSize,
+		Parallelism:   o.ResolveParallelism,
 	}, nil
 }
 

@@ -388,16 +388,26 @@ func (p *Protocol) Inject(t int64, pkts []inject.Packet) {
 	}
 }
 
+// pktChunk is how many pkt structs an empty free list allocates at
+// once: growth costs one allocation per chunk instead of one per
+// packet, which matters when many short protocol instances start cold
+// (plan sweeps run dozens per document).
+const pktChunk = 64
+
 // allocPkt returns a zeroed pkt, recycled from the free list when one
-// is available.
+// is available; an empty list is refilled a chunk at a time.
 func (p *Protocol) allocPkt() *pkt {
-	if n := len(p.pktFree); n > 0 {
-		st := p.pktFree[n-1]
-		p.pktFree = p.pktFree[:n-1]
-		*st = pkt{}
-		return st
+	if len(p.pktFree) == 0 {
+		chunk := make([]pkt, pktChunk)
+		for i := range chunk {
+			p.pktFree = append(p.pktFree, &chunk[i])
+		}
 	}
-	return &pkt{}
+	n := len(p.pktFree)
+	st := p.pktFree[n-1]
+	p.pktFree = p.pktFree[:n-1]
+	*st = pkt{}
+	return st
 }
 
 // Slot implements sim.Protocol.

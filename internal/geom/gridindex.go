@@ -25,6 +25,22 @@ type GridIndex struct {
 	cellWt []float64 // per-cell weight sums, len cols*rows (zeros without weights)
 
 	cellOf []int32 // scratch: cell index per selected point
+
+	// Incremental-update state (see TryUpdate): the geometry frame and
+	// selection the index currently holds — so a delta transition can
+	// verify its precondition instead of trusting the caller — plus
+	// swap buffers for the repack and a generation-stamped touched-cell
+	// set. hasGeo is true only after FillGeom; the legacy Fill clears
+	// it, so indexes built outside an explicit frame never delta-update.
+	geo     Geometry
+	hasGeo  bool
+	selCopy []int32
+	start2  []int32
+	ids2    []int32
+	cellOf2 []int32
+	touch   []int32
+	mark    []int64
+	gen     int64
 }
 
 // NewGridIndex builds an index over all of pts. A cellSize of 0 picks
@@ -44,6 +60,7 @@ func NewGridIndex(pts []Point, cellSize float64) *GridIndex {
 // count, in which case it is widened to keep the grid proportional to
 // the selection.
 func (g *GridIndex) Fill(pts []Point, sel []int32, wt []float64, cellSize float64) {
+	g.hasGeo = false
 	k := len(sel)
 	if sel == nil {
 		k = len(pts)

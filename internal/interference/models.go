@@ -271,3 +271,40 @@ func (l *Lossy) Successes(tx []int) []bool {
 	}
 	return out
 }
+
+// applyLoss overlays the loss draws on an inner resolution. The draw
+// order is the slot order, exactly as in Successes, so resolver-path
+// and Successes-path runs consume the identical RNG stream.
+func (l *Lossy) applyLoss(out []bool) []bool {
+	for i, ok := range out {
+		if ok && l.Rand() < l.P {
+			out[i] = false
+		}
+	}
+	return out
+}
+
+// NewResolver implements SlotResolver by wrapping the inner model's
+// resolver: the hot loop inherits the inner model's allocation-free
+// resolution, with the loss overlay on top.
+func (l *Lossy) NewResolver() func(tx []int) []bool {
+	inner := ResolveFunc(l.Inner)
+	return func(tx []int) []bool { return l.applyLoss(inner(tx)) }
+}
+
+// NewResolverN implements ParallelResolver, forwarding the worker-count
+// override to the inner model. The loss overlay itself is a serial
+// O(len(tx)) pass — its draw order is part of the model's determinism
+// contract.
+func (l *Lossy) NewResolverN(workers int) func(tx []int) []bool {
+	inner := ResolveFuncN(l.Inner, workers)
+	return func(tx []int) []bool { return l.applyLoss(inner(tx)) }
+}
+
+// ResolveStats implements ResolveStatsProvider by delegation.
+func (l *Lossy) ResolveStats() ResolveStats {
+	if sp, ok := l.Inner.(ResolveStatsProvider); ok {
+		return sp.ResolveStats()
+	}
+	return ResolveStats{Workers: 1}
+}

@@ -21,6 +21,56 @@ func ResolveFunc(m Model) func(tx []int) []bool {
 	return m.Successes
 }
 
+// ParallelResolver is an optional extension of SlotResolver for models
+// whose slot resolution can fan the per-link work across an intra-slot
+// worker pool. NewResolverN returns a resolver pinned to the given
+// worker count (≥ 1; 1 means strictly serial). Implementations must be
+// bit-identical to the serial resolver at every worker count — per-link
+// work may be sharded, but each link's result must be produced by
+// exactly the serial operation sequence.
+type ParallelResolver interface {
+	SlotResolver
+	NewResolverN(workers int) func(tx []int) []bool
+}
+
+// ResolveFuncN is ResolveFunc with an explicit intra-slot worker-count
+// override: workers = 0 defers to the model's own default (ResolveFunc),
+// workers ≥ 1 requests that many workers from models implementing
+// ParallelResolver. Models without intra-slot parallelism ignore the
+// override — results are bit-identical either way, only wall-clock
+// changes.
+func ResolveFuncN(m Model, workers int) func(tx []int) []bool {
+	if workers >= 1 {
+		if pr, ok := m.(ParallelResolver); ok {
+			return pr.NewResolverN(workers)
+		}
+	}
+	return ResolveFunc(m)
+}
+
+// ResolveStats is a model's cumulative slot-resolution accounting,
+// exposed for engine observability (never consulted by the resolution
+// itself).
+type ResolveStats struct {
+	// Workers is the intra-slot worker count the model's default
+	// resolver uses (1 = serial). Large slots shard across this many
+	// claimants; slots below the parallel threshold run serially
+	// regardless.
+	Workers int
+	// GridRebuilds counts slots whose spatial interference grid was
+	// rebuilt from scratch; GridDeltaUpdates counts slots served by the
+	// incremental joined/left delta path. Both stay zero for models
+	// without a spatial grid.
+	GridRebuilds     uint64
+	GridDeltaUpdates uint64
+}
+
+// ResolveStatsProvider is implemented by models that account their
+// resolver activity. Safe for concurrent use.
+type ResolveStatsProvider interface {
+	ResolveStats() ResolveStats
+}
+
 // ResolverScratch is the common per-resolver buffer set for models that
 // resolve slots by per-link multiplicity counting: a counts vector, a
 // first-occurrence link list, and a reusable result slice. Model

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"dynsched/internal/inject"
+	"dynsched/internal/interference"
 	"dynsched/internal/stats"
 )
 
@@ -53,6 +54,16 @@ type Observer interface {
 	// attachment order — stock observers have filled Result's metric
 	// fields by the time custom observers run.
 	OnEnd(r *Result)
+}
+
+// ResolveObserver is an optional Observer extension notified once per
+// run, before the first slot, with the interference model and the
+// requested intra-slot parallelism (Config.ResolveParallelism, 0 =
+// model default). Observers use it to surface resolver configuration
+// and cumulative resolver statistics (interference
+// ResolveStatsProvider) without touching the hot loop.
+type ResolveObserver interface {
+	OnResolve(model interference.Model, requested int)
 }
 
 // BaseObserver is a no-op Observer for embedding, so custom observers
@@ -144,6 +155,19 @@ type queueObserver struct {
 	lastT  int64
 	lastV  float64
 	seen   bool
+}
+
+// newQueueObserver sizes the sample series for the run up front —
+// slots/sample points, capped at the thinning bound — so steady-state
+// sampling appends without reallocation.
+func newQueueObserver(slots, sample int64) *queueObserver {
+	o := &queueObserver{sample: sample, stride: 1}
+	expect := slots/sample + 2
+	if expect > maxQueueSamples {
+		expect = maxQueueSamples
+	}
+	o.series.Grow(int(expect))
+	return o
 }
 
 func (o *queueObserver) OnSlot(t int64, v SlotView) {

@@ -61,6 +61,14 @@ type Config struct {
 	// replications across: 0 means GOMAXPROCS, 1 runs serially inline.
 	// Results are bit-identical for every value.
 	Parallel int
+	// ResolveParallelism requests an intra-slot worker count from models
+	// that support parallel slot resolution (interference
+	// ParallelResolver): 0 defers to the model's own default (typically
+	// GOMAXPROCS), 1 forces strictly serial resolution, n uses n
+	// workers. Like Parallel it is a pure execution knob — results are
+	// bit-identical for every value — so it is excluded from scenario
+	// hashes.
+	ResolveParallelism int
 	// Checkpoint configures periodic state capture and resume (nil
 	// disables both). Resumed runs are bit-identical to uninterrupted
 	// ones; see CheckpointSpec.
@@ -193,7 +201,7 @@ func Run(ctx context.Context, cfg Config, model interference.Model, proc inject.
 			hist:      stats.NewHistogram(latBucket, 257),
 			digest:    stats.NewDigest(0),
 		},
-		&queueObserver{sample: sample, stride: 1},
+		newQueueObserver(cfg.Slots, sample),
 		&linkObserver{
 			served:   make([]int64, model.NumLinks()),
 			attempts: make([]int64, model.NumLinks()),
@@ -208,8 +216,14 @@ func Run(ctx context.Context, cfg Config, model interference.Model, proc inject.
 	arena := newPacketArena()
 	intern := NewPathInterner()
 	// Per-run slot resolver and link buffer: models that support it
-	// resolve slots allocation-free, and the link vector is reused.
-	resolve := interference.ResolveFunc(model)
+	// resolve slots allocation-free (sharded across intra-slot workers
+	// when requested), and the link vector is reused.
+	resolve := interference.ResolveFuncN(model, cfg.ResolveParallelism)
+	for _, o := range obs {
+		if ro, ok := o.(ResolveObserver); ok {
+			ro.OnResolve(model, cfg.ResolveParallelism)
+		}
+	}
 	var links []int
 
 	finish := func(executed int64) {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dynsched/internal/inject"
+	"dynsched/internal/interference"
 	"dynsched/internal/metrics"
 )
 
@@ -30,6 +31,13 @@ type EngineMetrics struct {
 	Injected    *metrics.Counter
 	Delivered   *metrics.Counter
 	SlotSeconds *metrics.Histogram
+
+	// Intra-slot resolution instruments: the worker count the most
+	// recently started run resolves with, and the cumulative
+	// delta-vs-rebuild accounting of spatially-indexed resolvers.
+	ResolveWorkers   *metrics.Gauge
+	GridRebuilds     *metrics.Counter
+	GridDeltaUpdates *metrics.Counter
 }
 
 // slotSecondsBuckets spans ~100ns to ~0.4s: identity-model slots
@@ -46,6 +54,12 @@ func NewEngineMetrics(r *metrics.Registry) *EngineMetrics {
 		Injected:    r.Counter("dynsched_sim_injected_total", "Packets injected across all runs."),
 		Delivered:   r.Counter("dynsched_sim_delivered_total", "Packets delivered across all runs."),
 		SlotSeconds: r.Histogram("dynsched_sim_slot_seconds", "Sampled wall time of one simulation slot (injection, resolution, delivery, observers).", slotSecondsBuckets),
+		ResolveWorkers: r.Gauge("dynsched_sim_resolve_workers",
+			"Intra-slot resolver worker count of the most recently started run (1 = serial)."),
+		GridRebuilds: r.Counter("dynsched_sim_grid_rebuilds_total",
+			"Spatial interference grids rebuilt from scratch across all runs."),
+		GridDeltaUpdates: r.Counter("dynsched_sim_grid_delta_updates_total",
+			"Spatial interference grid slots served by the incremental joined/left delta path across all runs."),
 	}
 }
 
@@ -71,6 +85,13 @@ type MetricsObserver struct {
 	countdown int64
 	armed     bool
 	start     time.Time
+
+	// Resolver accounting: the model's cumulative grid counters at run
+	// start, so OnEnd adds exactly this run's contribution to the
+	// shared counters.
+	statsProv    interference.ResolveStatsProvider
+	baseRebuilds uint64
+	baseDeltas   uint64
 }
 
 // NewObserver returns a fresh per-run tracing observer flushing into
@@ -80,6 +101,29 @@ func (m *EngineMetrics) NewObserver(sampleEvery int64) *MetricsObserver {
 		sampleEvery = DefaultTraceSample
 	}
 	return &MetricsObserver{m: m, every: sampleEvery, countdown: sampleEvery}
+}
+
+// OnResolve implements ResolveObserver: it publishes the run's
+// intra-slot worker count to the gauge and snapshots the model's
+// cumulative grid counters so OnEnd can flush this run's delta. (When
+// several runs share one model concurrently, the attribution of grid
+// counter increments between them is approximate; the shared totals
+// stay exact.)
+func (o *MetricsObserver) OnResolve(model interference.Model, requested int) {
+	workers := 1
+	if requested > 0 {
+		workers = requested
+	}
+	if sp, ok := model.(interference.ResolveStatsProvider); ok {
+		st := sp.ResolveStats()
+		if requested == 0 {
+			workers = st.Workers
+		}
+		o.statsProv = sp
+		o.baseRebuilds = st.GridRebuilds
+		o.baseDeltas = st.GridDeltaUpdates
+	}
+	o.m.ResolveWorkers.Set(float64(workers))
 }
 
 // OnInject implements Observer.
@@ -113,10 +157,22 @@ func (o *MetricsObserver) OnSlot(t int64, v SlotView) {
 }
 
 // OnEnd implements Observer: the tail of the local counters reaches
-// the shared bundle even for runs shorter than one sample window.
+// the shared bundle even for runs shorter than one sample window, and
+// the run's grid delta-vs-rebuild contribution lands in the shared
+// counters.
 func (o *MetricsObserver) OnEnd(r *Result) {
 	o.armed = false
 	o.flush()
+	if o.statsProv != nil {
+		st := o.statsProv.ResolveStats()
+		if d := st.GridRebuilds - o.baseRebuilds; d > 0 {
+			o.m.GridRebuilds.Add(d)
+		}
+		if d := st.GridDeltaUpdates - o.baseDeltas; d > 0 {
+			o.m.GridDeltaUpdates.Add(d)
+		}
+		o.statsProv = nil
+	}
 }
 
 // flush moves the locally accumulated deltas into the shared atomics.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dynsched/internal/geom"
 	"dynsched/internal/interference"
@@ -67,22 +68,52 @@ type FixedPower struct {
 	// model may be shared across replication goroutines, so the scratch
 	// cannot live on the struct directly.
 	scratch sync.Pool
+
+	// Cumulative resolver accounting (observability only — never read
+	// by the resolution itself). Shared across the model's resolvers,
+	// hence atomic.
+	gridRebuilds     atomic.Uint64
+	gridDeltaUpdates atomic.Uint64
 }
+
+// fpScratch fill modes: which range body runChunks executes.
+const (
+	fpModeTable = iota
+	fpModeIndexedExact
+	fpModeIndexedGrid
+)
 
 // fpScratch is the per-resolver buffer set: slot counting plus, under
 // the indexed backing, the per-slot spatial grid and its id/ring
-// buffers.
+// buffers. It doubles as the resolver's parallel fan-out job (it
+// implements chunkRunner), so dispatching a slot across workers stays
+// allocation-free.
 type fpScratch struct {
 	rs   *interference.ResolverScratch
 	grid geom.GridIndex
 	sel  []int32
-	ring []int32
+
+	// Fan-out state: the owning model, the worker count this resolver
+	// runs with, the embedded reusable job, and the current slot's
+	// inputs. wring holds one ring-iteration buffer per worker slot so
+	// concurrent grid queries never share scratch.
+	m       *FixedPower
+	workers int
+	job     parJob
+	mode    int
+	tx      []int
+	out     []bool
+	ptotal  float64
+	wring   [][]int32
 }
 
 var (
-	_ interference.Model        = (*FixedPower)(nil)
-	_ interference.RowsProvider = (*FixedPower)(nil)
-	_ interference.SlotResolver = (*FixedPower)(nil)
+	_ interference.Model                = (*FixedPower)(nil)
+	_ interference.RowsProvider         = (*FixedPower)(nil)
+	_ interference.SlotResolver         = (*FixedPower)(nil)
+	_ interference.ParallelResolver     = (*FixedPower)(nil)
+	_ interference.ResolveStatsProvider = (*FixedPower)(nil)
+	_ chunkRunner                       = (*fpScratch)(nil)
 )
 
 // NewFixedPower builds a fixed-power SINR model with default options.
@@ -152,7 +183,11 @@ func NewFixedPowerOpts(g *netgraph.Graph, prm Params, powers []float64, kind Wei
 	}
 	m.name = fmt.Sprintf("sinr-fixed(%s)", kindName(kind))
 	m.scratch.New = func() any {
-		return &fpScratch{rs: interference.NewResolverScratch(n)}
+		return &fpScratch{
+			rs:      interference.NewResolverScratch(n),
+			m:       m,
+			workers: effectiveWorkers(opt.Parallelism),
+		}
 	}
 	return m, nil
 }
@@ -317,26 +352,80 @@ func (m *FixedPower) Successes(tx []int) []bool {
 	return out
 }
 
-// dispatchSuccesses routes a counted slot to the backing's fill path.
+// dispatchSuccesses routes a counted slot to the backing's fill path,
+// fanning the per-link loop across the resolver's workers when the slot
+// is large enough (see runRanges).
 func (m *FixedPower) dispatchSuccesses(sc *fpScratch, tx []int, out []bool) {
+	sort.Ints(sc.rs.Uniq)
+	sc.tx, sc.out = tx, out
 	if m.opts.Backing == BackIndexed {
-		m.fillSuccessesIndexed(sc, tx, out)
-		return
+		m.fillSuccessesIndexed(sc)
+	} else {
+		sc.mode = fpModeTable
+		m.runRanges(sc)
 	}
-	m.fillSuccesses(sc.rs, tx, out)
+	sc.tx, sc.out = nil, nil
 }
 
-// fillSuccesses resolves one counted slot into out. Distinct links are
-// summed in ascending order — the historical Successes order — so the
-// floating-point interference sums, and therefore the outcomes, are
-// bit-identical across the Successes and NewResolver paths and across
-// dense and CSR table backings. A co-located interferer contributes a
-// +Inf gain; adding it yields the same +Inf sum the pre-table code
-// produced by short-circuiting (all terms are non-negative, so no NaN
-// can arise).
-func (m *FixedPower) fillSuccesses(s *interference.ResolverScratch, tx []int, out []bool) {
-	sort.Ints(s.Uniq)
-	for i, e := range tx {
+// runRanges executes the scratch's current fill mode over every tx
+// index: sharded across the worker pool for large slots, in one serial
+// call otherwise. The per-link bodies write disjoint out entries and
+// read only shared immutable state, and each link's interference sum is
+// accumulated wholly by its one claimant in the serial order — so the
+// output is bit-identical at every worker count.
+func (m *FixedPower) runRanges(sc *fpScratch) {
+	n := len(sc.tx)
+	if workers := sc.workers; workers > 1 && n >= parallelMinTx {
+		for len(sc.wring) < workers {
+			sc.wring = append(sc.wring, nil)
+		}
+		runParallel(&sc.job, sc, n, workers)
+		return
+	}
+	if len(sc.wring) == 0 {
+		sc.wring = append(sc.wring, nil)
+	}
+	m.fillRange(sc, 0, 0, n)
+}
+
+// runChunks implements chunkRunner: claim contiguous tx ranges until
+// the slot is exhausted.
+func (sc *fpScratch) runChunks(slot int) {
+	for {
+		lo, hi := sc.job.claim()
+		if lo < 0 {
+			return
+		}
+		sc.m.fillRange(sc, slot, lo, hi)
+	}
+}
+
+// fillRange dispatches one contiguous tx range to the active mode's
+// body.
+func (m *FixedPower) fillRange(sc *fpScratch, slot, lo, hi int) {
+	switch sc.mode {
+	case fpModeTable:
+		m.fillTableRange(sc, lo, hi)
+	case fpModeIndexedExact:
+		m.fillIndexedExactRange(sc, lo, hi)
+	default:
+		m.fillIndexedGridRange(sc, slot, lo, hi)
+	}
+}
+
+// fillTableRange resolves tx[lo:hi] of the counted slot against the
+// gain table. Distinct links are summed in ascending order — the
+// historical Successes order — so the floating-point interference sums,
+// and therefore the outcomes, are bit-identical across the Successes
+// and NewResolver paths, across dense and CSR table backings, and
+// across worker counts. A co-located interferer contributes a +Inf
+// gain; adding it yields the same +Inf sum the pre-table code produced
+// by short-circuiting (all terms are non-negative, so no NaN can
+// arise).
+func (m *FixedPower) fillTableRange(sc *fpScratch, lo, hi int) {
+	s := sc.rs
+	for i := lo; i < hi; i++ {
+		e := sc.tx[i]
 		if s.Counts[e] != 1 {
 			continue
 		}
@@ -365,7 +454,7 @@ func (m *FixedPower) fillSuccesses(s *interference.ResolverScratch, tx []int, ou
 				}
 			}
 		}
-		out[i] = m.signals[e] >= m.prm.Beta*interf
+		sc.out[i] = m.signals[e] >= m.prm.Beta*interf
 	}
 }
 
@@ -380,40 +469,80 @@ func (m *FixedPower) fillSuccesses(s *interference.ResolverScratch, tx []int, ou
 // with geom.FarFieldBound once it drops below the ε budget. The
 // resulting estimate Î = near + tail always satisfies Î ≥ I_true, so
 // reported successes are true SINR successes.
-func (m *FixedPower) fillSuccessesIndexed(sc *fpScratch, tx []int, out []bool) {
-	s := sc.rs
-	sort.Ints(s.Uniq)
-	alpha, beta := m.prm.Alpha, m.prm.Beta
+//
+// The grid is prepared serially — incrementally when the previous
+// slot's geometry and most of its transmitter set carry over — and is
+// immutable during the fanned-out per-link queries.
+func (m *FixedPower) fillSuccessesIndexed(sc *fpScratch) {
 	if m.opts.FarFloor == 0 {
-		for i, e := range tx {
-			if s.Counts[e] != 1 {
-				continue
-			}
-			interf := m.prm.Noise
-			recv := m.recvPos[e]
-			for _, e2 := range s.Uniq {
-				if e2 != e {
-					interf += m.powers[e2] / math.Pow(m.sendPos[e2].Dist(recv), alpha)
-				}
-			}
-			out[i] = m.signals[e] >= beta*interf
-		}
+		sc.mode = fpModeIndexedExact
+		m.runRanges(sc)
 		return
 	}
 	sel := sc.sel[:0]
 	ptotal := 0.0
-	for _, e := range s.Uniq {
+	for _, e := range sc.rs.Uniq {
 		sel = append(sel, int32(e))
 		ptotal += m.powers[e]
 	}
 	sc.sel = sel
-	sc.grid.Fill(m.sendPos, sel, m.powers, m.opts.CellSize)
-	for i, e := range tx {
+	sc.ptotal = ptotal
+	m.prepareGrid(sc)
+	sc.mode = fpModeIndexedGrid
+	m.runRanges(sc)
+}
+
+// prepareGrid brings sc.grid to the current slot's ascending selection.
+// When the stable geometry matches the grid's current frame and at most
+// half the selection changed, the grid is updated in O(delta)
+// floating-point work; otherwise it is rebuilt. Both paths leave
+// bit-identical grid state (geom.TryUpdate's contract), so the choice —
+// and therefore slot history, including checkpoint resume points — is
+// invisible in the results.
+func (m *FixedPower) prepareGrid(sc *fpScratch) {
+	geo := geom.StableGeometry(m.sendPos, sc.sel, m.opts.CellSize)
+	if sc.grid.TryUpdate(m.sendPos, sc.sel, m.powers, geo, len(sc.sel)/2) {
+		m.gridDeltaUpdates.Add(1)
+		return
+	}
+	sc.grid.FillGeom(m.sendPos, sc.sel, m.powers, geo)
+	m.gridRebuilds.Add(1)
+}
+
+// fillIndexedExactRange is the FarFloor = 0 indexed body: every
+// distinct transmitter summed exactly, ascending.
+func (m *FixedPower) fillIndexedExactRange(sc *fpScratch, lo, hi int) {
+	s := sc.rs
+	alpha, beta := m.prm.Alpha, m.prm.Beta
+	for i := lo; i < hi; i++ {
+		e := sc.tx[i]
 		if s.Counts[e] != 1 {
 			continue
 		}
-		near, tail := m.indexedInterference(sc, e, ptotal)
-		out[i] = m.signals[e] >= beta*(near+tail)
+		interf := m.prm.Noise
+		recv := m.recvPos[e]
+		for _, e2 := range s.Uniq {
+			if e2 != e {
+				interf += m.powers[e2] / math.Pow(m.sendPos[e2].Dist(recv), alpha)
+			}
+		}
+		sc.out[i] = m.signals[e] >= beta*interf
+	}
+}
+
+// fillIndexedGridRange is the FarFloor > 0 indexed body, with a
+// per-worker ring buffer so concurrent queries never share iteration
+// scratch.
+func (m *FixedPower) fillIndexedGridRange(sc *fpScratch, slot, lo, hi int) {
+	s := sc.rs
+	beta := m.prm.Beta
+	for i := lo; i < hi; i++ {
+		e := sc.tx[i]
+		if s.Counts[e] != 1 {
+			continue
+		}
+		near, tail := m.indexedInterference(sc, e, sc.ptotal, &sc.wring[slot])
+		sc.out[i] = m.signals[e] >= beta*(near+tail)
 	}
 }
 
@@ -432,7 +561,10 @@ func (m *FixedPower) fillSuccessesIndexed(sc *fpScratch, tx []int, out []bool) {
 // the estimate is below ε·signal/β, and the remainder term alone is
 // below that same budget. Per-slot cost is the number of cells and
 // points within the stop radius — local density, not n.
-func (m *FixedPower) indexedInterference(sc *fpScratch, e int, ptotal float64) (near, tail float64) {
+//
+// ringp is the caller's reusable ring-cell buffer (one per worker under
+// parallel resolution); it is grown in place and written back.
+func (m *FixedPower) indexedInterference(sc *fpScratch, e int, ptotal float64, ringp *[]int32) (near, tail float64) {
 	alpha, beta := m.prm.Alpha, m.prm.Beta
 	grid := &sc.grid
 	q := m.recvPos[e]
@@ -445,7 +577,7 @@ func (m *FixedPower) indexedInterference(sc *fpScratch, e int, ptotal float64) (
 	cx, cy := grid.CellAt(q)
 	visited := 0.0
 	maxRing := grid.MaxRing(cx, cy)
-	ring := sc.ring
+	ring := *ringp
 	for r := 0; r <= maxRing; r++ {
 		var cont bool
 		ring, cont = grid.RingCells(cx, cy, r, ring[:0])
@@ -484,7 +616,7 @@ func (m *FixedPower) indexedInterference(sc *fpScratch, e int, ptotal float64) (
 			break
 		}
 	}
-	sc.ring = ring
+	*ringp = ring
 	return near, tail
 }
 
@@ -494,12 +626,34 @@ func (m *FixedPower) indexedInterference(sc *fpScratch, e int, ptotal float64) (
 // backings) no math.Pow calls — each interference term is one table
 // read. The indexed backing re-buckets the transmitting senders into its
 // reusable grid each slot and computes the near terms on the fly.
+// Large slots are sharded across the intra-slot worker pool per
+// Options.Parallelism (default GOMAXPROCS); results are bit-identical
+// at every worker count.
 func (m *FixedPower) NewResolver() func(tx []int) []bool {
+	return m.NewResolverN(effectiveWorkers(m.opts.Parallelism))
+}
+
+// NewResolverN implements interference.ParallelResolver: a resolver
+// pinned to an explicit intra-slot worker count (1 = strictly serial).
+func (m *FixedPower) NewResolverN(workers int) func(tx []int) []bool {
 	sc := m.scratch.New().(*fpScratch)
+	if workers < 1 {
+		workers = 1
+	}
+	sc.workers = workers
 	return func(tx []int) []bool {
 		out := sc.rs.Begin(tx)
 		m.dispatchSuccesses(sc, tx, out)
 		sc.rs.End(tx)
 		return out
+	}
+}
+
+// ResolveStats implements interference.ResolveStatsProvider.
+func (m *FixedPower) ResolveStats() interference.ResolveStats {
+	return interference.ResolveStats{
+		Workers:          effectiveWorkers(m.opts.Parallelism),
+		GridRebuilds:     m.gridRebuilds.Load(),
+		GridDeltaUpdates: m.gridDeltaUpdates.Load(),
 	}
 }

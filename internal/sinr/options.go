@@ -79,6 +79,12 @@ type Options struct {
 	// CellSize overrides the spatial grid's cell side length (0 sizes
 	// cells automatically to ≈1 point per cell).
 	CellSize float64
+	// Parallelism is the intra-slot worker count of the model's default
+	// resolvers: 0 picks GOMAXPROCS, 1 forces strictly serial
+	// resolution, n uses n workers. Results are bit-identical at every
+	// setting — the knob trades wall-clock only — so it is an execution
+	// option, not part of a scenario's physical identity.
+	Parallelism int
 }
 
 // validate rejects option values with no defined semantics.
@@ -94,6 +100,9 @@ func (o Options) validate() error {
 	}
 	if o.FarFloor > 0 && o.Backing != BackIndexed {
 		return fmt.Errorf("sinr: FarFloor %v requires the indexed backing", o.FarFloor)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("sinr: negative Parallelism %d", o.Parallelism)
 	}
 	return nil
 }

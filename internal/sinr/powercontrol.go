@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dynsched/internal/geom"
 	"dynsched/internal/interference"
@@ -63,23 +64,82 @@ type PowerControl struct {
 }
 
 var (
-	_ interference.Model        = (*PowerControl)(nil)
-	_ interference.RowsProvider = (*PowerControl)(nil)
-	_ interference.SlotResolver = (*PowerControl)(nil)
+	_ interference.Model                = (*PowerControl)(nil)
+	_ interference.RowsProvider         = (*PowerControl)(nil)
+	_ interference.SlotResolver         = (*PowerControl)(nil)
+	_ interference.ParallelResolver     = (*PowerControl)(nil)
+	_ interference.ResolveStatsProvider = (*PowerControl)(nil)
+	_ chunkRunner                       = (*pcScratch)(nil)
+)
+
+// pcScratch phase modes: which row body runChunks executes.
+const (
+	pcModeGain = iota
+	pcModeIter
+	pcModeShed
 )
 
 // pcScratch is the reusable buffer set of one feasibility computation:
 // slot counting, the candidate set, a per-link served mark, and the
-// flat k×k gain system of the fixed-point solver.
+// flat k×k gain system of the fixed-point solver. It doubles as the
+// solver's parallel fan-out job (chunkRunner): the gain-row build, each
+// fixed-point iteration pass, and the shed sums shard across rows with
+// per-worker scratch, and the serial early-returns become atomic flags
+// checked after the pass — same boolean outcomes, scratch-only
+// divergence, so results are bit-identical at every worker count.
 type pcScratch struct {
 	rs     *interference.ResolverScratch
 	set    []int
 	served []bool
 	gain   []float64 // flat k×k
-	cross  []float64 // one gathered table row
 	noise  []float64
 	p      []float64
 	next   []float64
+
+	m       *PowerControl
+	workers int
+	job     parJob
+	mode    int
+	curSet  []int
+	wcross  [][]float64 // per-worker gathered table rows
+	wmax    []float64   // per-worker iteration max-relative-change
+	shedSum []float64   // per-candidate symmetrized interference sums
+	failed  atomic.Bool // gain build hit a co-located pair
+	capped  atomic.Bool // iteration exceeded the power cap
+}
+
+// runChunks implements chunkRunner for the solver's active phase.
+func (sc *pcScratch) runChunks(slot int) {
+	for {
+		lo, hi := sc.job.claim()
+		if lo < 0 {
+			return
+		}
+		switch sc.mode {
+		case pcModeGain:
+			sc.m.gainRows(sc, slot, lo, hi)
+		case pcModeIter:
+			sc.m.iterRows(sc, slot, lo, hi)
+		default:
+			sc.m.shedSums(sc, lo, hi)
+		}
+	}
+}
+
+// ensureWorkerBufs sizes the per-worker scratch slices for the
+// resolver's worker count (always at least one slot, for the serial
+// path).
+func (sc *pcScratch) ensureWorkerBufs() {
+	slots := sc.workers
+	if slots < 1 {
+		slots = 1
+	}
+	for len(sc.wcross) < slots {
+		sc.wcross = append(sc.wcross, nil)
+	}
+	for len(sc.wmax) < slots {
+		sc.wmax = append(sc.wmax, 0)
+	}
 }
 
 // NewPowerControl builds a power-control SINR model on g with default
@@ -148,9 +208,11 @@ func NewPowerControlOpts(g *netgraph.Graph, prm Params, opt Options) (*PowerCont
 	}
 	m.scratch.New = func() any {
 		return &pcScratch{
-			rs:     interference.NewResolverScratch(n),
-			set:    make([]int, 0, n),
-			served: make([]bool, n),
+			rs:      interference.NewResolverScratch(n),
+			set:     make([]int, 0, n),
+			served:  make([]bool, n),
+			m:       m,
+			workers: effectiveWorkers(opt.Parallelism),
 		}
 	}
 	return m, nil
@@ -269,25 +331,98 @@ func (m *PowerControl) LinkLen(e int) float64 { return m.lens[e] }
 // buffers. On success the minimal solution is left in sc.p (unscaled)
 // and the noise terms in sc.noise; the caller decides whether to copy
 // them out. No allocations occur once the scratch has grown to the
-// working set size.
+// working set size. Large systems shard the gain-row build and each
+// iteration pass across the worker pool; every row is produced by its
+// one claimant with the serial operation sequence, and the convergence
+// test reduces per-worker maxima over the same value set, so the
+// returned outcome — and the solution on success — are bit-identical
+// at every worker count.
 func (m *PowerControl) solveInto(sc *pcScratch, set []int) bool {
 	k := len(set)
 	if k == 0 {
 		return true
 	}
-	beta, nu := m.prm.Beta, m.prm.Noise
-	gain := growFloats(&sc.gain, k*k)
-	noiseTerm := growFloats(&sc.noise, k)
-	// gain[i*k+j]: normalized interference coupling from set[j]'s sender
-	// into set[i]'s receiver, scaled by set[i]'s own path loss — read
-	// straight from the precomputed tables (set is ascending, so a CSR
-	// backing gathers each row in one merge pass), or evaluated on
-	// demand under the indexed backing.
-	crossRow := growFloats(&sc.cross, k)
-	for i := 0; i < k; i++ {
+	growFloats(&sc.gain, k*k)
+	growFloats(&sc.noise, k)
+	sc.curSet = set
+	sc.ensureWorkerBufs()
+
+	// Phase 1: build the gain rows. A co-located pair makes the set
+	// unservable; serially that was an early return, in parallel it is
+	// a flag checked after the pass — same false outcome either way.
+	sc.failed.Store(false)
+	if sc.workers > 1 && k >= parallelMinRows {
+		sc.mode = pcModeGain
+		runParallel(&sc.job, sc, k, sc.workers)
+	} else {
+		m.gainRows(sc, 0, 0, k)
+	}
+	if sc.failed.Load() {
+		return false
+	}
+
+	// Phase 2: fixed-point iteration for the minimal solution of
+	// p = β(gain·p + noiseTerm); diverges iff ρ(β·gain) ≥ 1. Each pass
+	// reads p and writes disjoint next entries, so rows fan out; the
+	// swap and the convergence decision stay serial.
+	p := growFloats(&sc.p, k)
+	next := growFloats(&sc.next, k)
+	for i := range p {
+		p[i] = 0
+	}
+	par := sc.workers > 1 && k >= parallelMinIterRows
+	for it := 0; it < m.maxIter; it++ {
+		sc.capped.Store(false)
+		maxRel := 0.0
+		if par {
+			for w := range sc.wmax {
+				sc.wmax[w] = 0
+			}
+			sc.mode = pcModeIter
+			runParallel(&sc.job, sc, k, sc.workers)
+			if sc.capped.Load() {
+				return false
+			}
+			for _, v := range sc.wmax {
+				if v > maxRel {
+					maxRel = v
+				}
+			}
+		} else {
+			sc.wmax[0] = 0
+			m.iterRows(sc, 0, 0, k)
+			if sc.capped.Load() {
+				return false
+			}
+			maxRel = sc.wmax[0]
+		}
+		p, next = next, p
+		sc.p, sc.next = p, next
+		if maxRel < 1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+// gainRows fills gain rows [lo, hi): gain[i*k+j] is the normalized
+// interference coupling from set[j]'s sender into set[i]'s receiver,
+// scaled by set[i]'s own path loss — read straight from the precomputed
+// tables (set is ascending, so a CSR backing gathers each row in one
+// merge pass), or evaluated on demand under the indexed backing. slot
+// selects the worker's private gathered-row buffer.
+func (m *PowerControl) gainRows(sc *pcScratch, slot, lo, hi int) {
+	set := sc.curSet
+	k := len(set)
+	nu := m.prm.Noise
+	crossRow := growFloats(&sc.wcross[slot], k)
+	for i := lo; i < hi; i++ {
+		if sc.failed.Load() {
+			return
+		}
 		lenA := m.lenAlpha[set[i]]
-		noiseTerm[i] = nu * lenA
-		row := gain[i*k : (i+1)*k]
+		sc.noise[i] = nu * lenA
+		row := sc.gain[i*k : (i+1)*k]
 		if m.cross != nil {
 			m.cross.gather(set[i], set, crossRow)
 		} else {
@@ -302,43 +437,45 @@ func (m *PowerControl) solveInto(sc *pcScratch, set []int) bool {
 			}
 			cp := crossRow[j]
 			if cp < 0 {
-				return false // co-located interferer: unservable
+				sc.failed.Store(true) // co-located interferer: unservable
+				return
 			}
 			row[j] = lenA / cp
 		}
 	}
-	// Fixed-point iteration for the minimal solution of
-	// p = β(gain·p + noiseTerm); diverges iff ρ(β·gain) ≥ 1.
-	p := growFloats(&sc.p, k)
-	next := growFloats(&sc.next, k)
-	for i := range p {
-		p[i] = 0
-	}
-	for it := 0; it < m.maxIter; it++ {
-		maxRel := 0.0
-		for i := 0; i < k; i++ {
-			s := noiseTerm[i]
-			row := gain[i*k : (i+1)*k]
-			for j := 0; j < k; j++ {
-				s += row[j] * p[j]
-			}
-			next[i] = beta * s
-			if next[i] > m.powerCap {
-				return false
-			}
-			den := math.Max(next[i], 1e-300)
-			rel := math.Abs(next[i]-p[i]) / den
-			if rel > maxRel {
-				maxRel = rel
-			}
+}
+
+// iterRows runs one fixed-point pass over rows [lo, hi), accumulating
+// the worker's maximum relative change into wmax[slot]. Exceeding the
+// power cap sets the capped flag; the whole iteration then reports
+// divergence exactly as the serial early return did.
+func (m *PowerControl) iterRows(sc *pcScratch, slot, lo, hi int) {
+	k := len(sc.curSet)
+	beta := m.prm.Beta
+	p, next, noiseTerm := sc.p, sc.next, sc.noise
+	maxRel := sc.wmax[slot]
+	for i := lo; i < hi; i++ {
+		if sc.capped.Load() {
+			return
 		}
-		p, next = next, p
-		sc.p, sc.next = p, next
-		if maxRel < 1e-9 {
-			return true
+		s := noiseTerm[i]
+		row := sc.gain[i*k : (i+1)*k]
+		for j := 0; j < k; j++ {
+			s += row[j] * p[j]
+		}
+		v := beta * s
+		next[i] = v
+		if v > m.powerCap {
+			sc.capped.Store(true)
+			return
+		}
+		den := math.Max(v, 1e-300)
+		rel := math.Abs(v-p[i]) / den
+		if rel > maxRel {
+			maxRel = rel
 		}
 	}
-	return false
+	sc.wmax[slot] = maxRel
 }
 
 // growFloats resizes *buf to n entries, reallocating only when the
@@ -400,7 +537,7 @@ func (m *PowerControl) fillSuccesses(sc *pcScratch, tx []int, out []bool) {
 		if m.solveInto(sc, set) {
 			break
 		}
-		set = m.shedWorst(set)
+		set = m.shedWorst(sc, set)
 	}
 	for _, e := range set {
 		sc.served[e] = true
@@ -433,9 +570,21 @@ func (m *PowerControl) Successes(tx []int) []bool {
 // NewResolver implements interference.SlotResolver: identical slot
 // semantics to Successes — the feasibility computation is deterministic
 // — with every buffer reused across slots, so steady-state resolution
-// performs no allocations.
+// performs no allocations. Large solver systems shard across the
+// intra-slot worker pool per Options.Parallelism (default GOMAXPROCS);
+// results are bit-identical at every worker count.
 func (m *PowerControl) NewResolver() func(tx []int) []bool {
+	return m.NewResolverN(effectiveWorkers(m.opts.Parallelism))
+}
+
+// NewResolverN implements interference.ParallelResolver: a resolver
+// pinned to an explicit intra-slot worker count (1 = strictly serial).
+func (m *PowerControl) NewResolverN(workers int) func(tx []int) []bool {
 	sc := m.scratch.New().(*pcScratch)
+	if workers < 1 {
+		workers = 1
+	}
+	sc.workers = workers
 	return func(tx []int) []bool {
 		out := sc.rs.Begin(tx)
 		m.fillSuccesses(sc, tx, out)
@@ -444,13 +593,46 @@ func (m *PowerControl) NewResolver() func(tx []int) []bool {
 	}
 }
 
+// ResolveStats implements interference.ResolveStatsProvider. The
+// power-control model has no spatial slot grid, so only the worker
+// count is reported.
+func (m *PowerControl) ResolveStats() interference.ResolveStats {
+	return interference.ResolveStats{Workers: effectiveWorkers(m.opts.Parallelism)}
+}
+
 // shedWorst removes the link that suffers the largest summed weight from
 // the rest of the set — the one the analysis matrix identifies as most
 // interfered. The removal is in place (order-preserving), so no
-// allocation occurs.
-func (m *PowerControl) shedWorst(set []int) []int {
+// allocation occurs. The per-candidate sums shard across workers (each
+// candidate's sum is accumulated wholly by one claimant, in set order);
+// the first-maximum argmax scan stays serial, so the shed choice is
+// bit-identical at every worker count.
+func (m *PowerControl) shedWorst(sc *pcScratch, set []int) []int {
+	k := len(set)
+	sums := growFloats(&sc.shedSum, k)
+	sc.curSet = set
+	if sc.workers > 1 && k >= parallelMinRows {
+		sc.mode = pcModeShed
+		runParallel(&sc.job, sc, k, sc.workers)
+	} else {
+		m.shedSums(sc, 0, k)
+	}
 	worst, worstVal := 0, -1.0
-	for i, e := range set {
+	for i, sum := range sums {
+		if sum > worstVal {
+			worst, worstVal = i, sum
+		}
+	}
+	copy(set[worst:], set[worst+1:])
+	return set[:len(set)-1]
+}
+
+// shedSums fills the symmetrized interference sums for candidates
+// [lo, hi).
+func (m *PowerControl) shedSums(sc *pcScratch, lo, hi int) {
+	set := sc.curSet
+	for i := lo; i < hi; i++ {
+		e := set[i]
 		sum := 0.0
 		for _, e2 := range set {
 			if e2 != e {
@@ -458,10 +640,6 @@ func (m *PowerControl) shedWorst(set []int) []int {
 				sum += math.Max(m.weightAt(e, e2), m.weightAt(e2, e))
 			}
 		}
-		if sum > worstVal {
-			worst, worstVal = i, sum
-		}
+		sc.shedSum[i] = sum
 	}
-	copy(set[worst:], set[worst+1:])
-	return set[:len(set)-1]
 }

@@ -169,8 +169,9 @@ func TestFixedPowerFarFloorSoundness(t *testing.T) {
 			}
 			sc.sel = sel
 			sc.grid.Fill(m.sendPos, sel, m.powers, m.opts.CellSize)
+			var ring []int32
 			for _, e := range tx {
-				near, tail := m.indexedInterference(sc, e, ptotal)
+				near, tail := m.indexedInterference(sc, e, ptotal, &ring)
 				truth := prm.Noise
 				for _, e2 := range tx {
 					if e2 != e {

@@ -204,10 +204,17 @@ func (p *pendingSet) reset(numLinks int, reqs []Request) {
 }
 
 // resizeInts returns buf resized to n entries (contents unspecified),
-// reallocating only when the capacity is insufficient.
+// reallocating only when the capacity is insufficient. Growth is
+// geometric (at least double), so a buffer resized to a slowly climbing
+// n across frames reallocates O(log n) times rather than once per
+// frame.
 func resizeInts(buf []int, n int) []int {
 	if cap(buf) < n {
-		return make([]int, n)
+		c := 2 * cap(buf)
+		if c < n {
+			c = n
+		}
+		return make([]int, n, c)
 	}
 	return buf[:n]
 }

@@ -23,6 +23,20 @@ func (s *Series) Append(t, v float64) {
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.T) }
 
+// Grow ensures capacity for at least n further samples, so a caller
+// that knows its sample count up front appends without reallocation.
+func (s *Series) Grow(n int) {
+	if n <= 0 || cap(s.T)-len(s.T) >= n {
+		return
+	}
+	t := make([]float64, len(s.T), len(s.T)+n)
+	copy(t, s.T)
+	s.T = t
+	v := make([]float64, len(s.V), len(s.V)+n)
+	copy(v, s.V)
+	s.V = v
+}
+
 // Thin halves the series in place, keeping every second sample
 // starting from the first. Long-horizon runs call this when the
 // series outgrows a cap: the retained points remain evenly spaced

@@ -1,0 +1,65 @@
+package dynsched
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestScenariosBitIdenticalAcrossResolveWorkers runs every registered
+// scenario at intra-slot resolution worker counts {1, 2, 4, GOMAXPROCS}
+// and requires byte-identical full-Result JSON against the serial run.
+// This pins the tentpole contract of the parallel resolvers: worker
+// count is an execution knob, never an experiment parameter — each
+// link's interference sum keeps its exact serial accumulation order at
+// every worker count and every chunking.
+func TestScenariosBitIdenticalAcrossResolveWorkers(t *testing.T) {
+	const quickSlots = 2000
+	counts := []int{2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		counts = append(counts, g)
+	}
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			if s.Network.Links > 4096 {
+				t.Skipf("skipping %d-link scale scenario in quick tests", s.Network.Links)
+			}
+			s.Sim.Slots = quickSlots
+
+			serial := s
+			serial.Sim.ResolveParallelism = 1
+			want, err := serial.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantJSON, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, workers := range counts {
+				par := s
+				par.Sim.ResolveParallelism = workers
+				if par.Hash() != serial.Hash() {
+					t.Fatalf("ResolveParallelism=%d changed the scenario hash", workers)
+				}
+				got, err := par.Run(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotJSON, err := json.Marshal(got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gotJSON, wantJSON) {
+					t.Errorf("workers=%d diverged from serial\nparallel: %s\nserial:   %s",
+						workers, gotJSON, wantJSON)
+				}
+			}
+		})
+	}
+}

@@ -70,10 +70,17 @@ type PlanUnit struct {
 	Scenario Scenario
 	// Hash is Scenario.Hash() of the resolved spec.
 	Hash string
+
+	// label caches Label's rendering — Plan's constructors fill it so
+	// repeated executions of one plan never re-derive it.
+	label string
 }
 
 // Label renders the unit's coordinates for streams and error messages.
 func (u PlanUnit) Label() string {
+	if u.label != "" {
+		return u.label
+	}
 	if u.Rep >= 0 {
 		return fmt.Sprintf("rep %d", u.Rep)
 	}
@@ -98,6 +105,11 @@ type Plan struct {
 	// order for sweeps, row-major cross-product order (last axis fastest)
 	// for grids, replication order for replicate plans.
 	Units []PlanUnit
+
+	// hash caches Hash's digest — Plan's constructors fill it before the
+	// plan is shared, so executions (which stamp it into every result
+	// document) never re-canonicalise the source spec.
+	hash string
 }
 
 // Hash is the plan's content address: the SHA-256 of the plan shape
@@ -108,6 +120,9 @@ type Plan struct {
 // spec was formatted. internal/server caches assembled plan documents
 // under it.
 func (p *Plan) Hash() string {
+	if p.hash != "" {
+		return p.hash
+	}
 	doc, err := p.Source.CanonicalJSON()
 	if err != nil {
 		panic(err)
@@ -116,6 +131,18 @@ func (p *Plan) Hash() string {
 	fmt.Fprintf(h, "plan:%s:reps=%d:", p.Kind, p.Reps)
 	h.Write(doc)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// seal precomputes the plan-level hash and per-unit labels once, at
+// construction, so every later Execute (and the server's per-job views)
+// reads cached values instead of re-rendering them.
+func (p *Plan) seal() *Plan {
+	p.hash = ""
+	p.hash = p.Hash()
+	for i := range p.Units {
+		p.Units[i].label = p.Units[i].Label()
+	}
+	return p
 }
 
 // Plan decomposes the scenario into an execution plan: a grid plan when
@@ -135,11 +162,15 @@ func (s Scenario) Plan(reps int) (*Plan, error) {
 	}
 	switch {
 	case len(axes) > 0:
-		return s.sweepPlan()
+		p, err := s.sweepPlan()
+		if err != nil {
+			return nil, err
+		}
+		return p.seal(), nil
 	case reps > 1:
-		return s.replicatePlan(reps), nil
+		return s.replicatePlan(reps).seal(), nil
 	default:
-		return s.runPlan(), nil
+		return s.runPlan().seal(), nil
 	}
 }
 
