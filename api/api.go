@@ -172,6 +172,9 @@ type Health struct {
 	Draining bool `json:"draining,omitempty"`
 	// Journal is present when the durable execution tier is configured.
 	Journal *JournalHealth `json:"journal,omitempty"`
+	// Fleet reports the coordinator's runner fleet: active runners,
+	// lease-table occupancy and merge/re-lease counters.
+	Fleet *FleetHealth `json:"fleet,omitempty"`
 }
 
 // JournalHealth is the durability section of the health document.

@@ -1,9 +1,11 @@
 // Command bench runs the repository's hot-path micro-benchmarks
-// (bench_test.go) with -benchmem, parses the results, and either writes
-// them as a JSON baseline or compares them against a committed one.
+// (bench_test.go and the per-package benches under internal/) with
+// -benchmem, parses the results, and either writes them as a JSON
+// baseline or compares them against a committed one.
 //
-// Refresh the committed baseline (-scale adds the heavy 1M-link bench,
-// which belongs in the baseline but not in CI smoke):
+// Refresh the committed baseline (-scale adds the heavy 1M-link and
+// fleet-scaling benches, which belong in the baseline but not in CI
+// smoke):
 //
 //	go run ./cmd/bench -benchtime 100x -scale -out BENCH_baseline.json
 //
@@ -46,7 +48,7 @@ const microBenches = "^(BenchmarkMeasure64Links|BenchmarkMeasure64LinksDense|" +
 // scaleBenches are the heavy benchmarks included only when -scale is
 // set: a million-link model takes seconds to construct, which is fine
 // for a baseline refresh but not for the CI regression smoke.
-const scaleBenches = "BenchmarkSlotResolve1M|BenchmarkSlotResolve1MParallel"
+const scaleBenches = "BenchmarkSlotResolve1M|BenchmarkSlotResolve1MParallel|BenchmarkFleetSweep"
 
 // Entry is one benchmark's measurement.
 type Entry struct {
@@ -65,20 +67,25 @@ type Baseline struct {
 	Benchmarks map[string]Entry `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+
+// memStats is matched separately from benchLine: benchmarks reporting
+// custom metrics (units/s) print them between ns/op and the -benchmem
+// pair, so the allocation columns are not at a fixed offset.
+var memStats = regexp.MustCompile(`\s(\d+) B/op\s+(\d+) allocs/op`)
 
 func main() {
 	var (
 		bench       = flag.String("bench", microBenches, "benchmark regex passed to go test -bench")
 		benchtime   = flag.String("benchtime", "100x", "go test -benchtime value (fixed -Nx counts keep allocation numbers deterministic)")
 		count       = flag.Int("count", 1, "go test -count value; the minimum ns/op and maximum allocs/op across repetitions are kept, so -count 3 suppresses scheduler-preemption spikes")
-		dir         = flag.String("dir", ".", "package directory to benchmark")
+		dir         = flag.String("dir", "./...", "package pattern to benchmark")
 		out         = flag.String("out", "", "write the results to this JSON file")
 		compare     = flag.String("compare", "", "compare the results against this JSON baseline and exit non-zero on regressions")
 		nsFactor    = flag.Float64("ns-factor", 2.0, "fail when ns/op exceeds baseline by this factor")
 		allocFactor = flag.Float64("alloc-factor", 1.5, "fail when allocs/op exceeds baseline by this factor (rounded up) plus the slack; a zero-alloc baseline must stay zero-alloc")
 		allocSlack  = flag.Int64("alloc-slack", 0, "absolute allocs/op slack added to the factor threshold")
-		allowMiss   = flag.String("allow-missing", "^("+scaleBenches+")$", "baseline entries matching this regex may be absent from the run without failing the comparison (the scale benches are baseline-only, too heavy for CI smoke)")
+		allowMiss   = flag.String("allow-missing", "^("+scaleBenches+")(/.*)?$", "baseline entries matching this regex may be absent from the run without failing the comparison (the scale benches are baseline-only, too heavy for CI smoke)")
 		scale       = flag.Bool("scale", false, "also run the heavy scale benchmarks ("+scaleBenches+"); use when regenerating the baseline")
 	)
 	flag.Parse()
@@ -149,9 +156,9 @@ func runBenchmarks(dir, bench, benchtime string, count int) (map[string]Entry, e
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
 		var bytesOp, allocsOp int64
-		if m[4] != "" {
-			bytesOp, _ = strconv.ParseInt(m[4], 10, 64)
-			allocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		if mm := memStats.FindStringSubmatch(line); mm != nil {
+			bytesOp, _ = strconv.ParseInt(mm[1], 10, 64)
+			allocsOp, _ = strconv.ParseInt(mm[2], 10, 64)
 		}
 		e := Entry{Iters: iters, NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocsOp}
 		// With -count > 1 each benchmark reports several lines: keep the

@@ -6,6 +6,7 @@
 //	dynschedctl [-addr host:port] status
 //	dynschedctl [-addr host:port] watch <jobID>
 //	dynschedctl [-addr host:port] submit '<submission JSON>'   (or - for stdin)
+//	dynschedctl [-addr host:port] fleet
 //	dynschedctl [-addr host:port] doctor
 //
 // status renders queue/worker occupancy, jobs by state, cache tiers,
@@ -14,9 +15,12 @@
 // single runs, unit-level for plans) and reports elided events when
 // the stream was thinned. submit posts a submission document — the
 // same JSON POST /v1/jobs takes — and with -watch follows it to
-// completion. doctor applies health heuristics (saturated queue, cold
-// or thrashing cache, stuck jobs, torn journal) and exits 0 when
-// healthy, 1 with warnings, 2 when the daemon is unreachable.
+// completion. fleet renders the coordinator's runner roster: lease
+// occupancy, merge and re-grant counters, and a per-runner throughput
+// table. doctor applies health heuristics (saturated queue, cold or
+// thrashing cache, stuck jobs, torn journal, starved or thrashing
+// fleet, straggling runners) and exits 0 when healthy, 1 with
+// warnings, 2 when the daemon is unreachable.
 package main
 
 import (
@@ -63,11 +67,17 @@ func main() {
 			fail(err)
 		}
 	case "submit":
-		if len(args) != 2 {
+		// Accept -watch on either side of the command word.
+		rest := args[1:]
+		for len(rest) > 0 && rest[0] == "-watch" {
+			*watchSubmitted = true
+			rest = rest[1:]
+		}
+		if len(rest) != 1 {
 			fail(fmt.Errorf(`submit needs a submission document ('{"name":...}' or - for stdin)`))
 		}
-		body := []byte(args[1])
-		if args[1] == "-" {
+		body := []byte(rest[0])
+		if rest[0] == "-" {
 			var err error
 			if body, err = io.ReadAll(os.Stdin); err != nil {
 				fail(err)
@@ -87,12 +97,16 @@ func main() {
 				fail(err)
 			}
 		}
+	case "fleet":
+		if err := ctl.Fleet(ctx, c, os.Stdout); err != nil {
+			fail(err)
+		}
 	case "doctor":
 		os.Exit(ctl.Doctor(ctx, c, os.Stdout, *sampleGap))
 	case "":
 		usage(os.Stderr)
 		os.Exit(2)
 	default:
-		fail(fmt.Errorf("unknown command %q (want status, watch, submit or doctor)", cmd))
+		fail(fmt.Errorf("unknown command %q (want status, watch, submit, fleet or doctor)", cmd))
 	}
 }

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"dynsched/internal/cli"
+	"dynsched/internal/metrics"
 	"dynsched/internal/server"
 )
 
@@ -63,6 +64,11 @@ func main() {
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
+
+	if so.Join != "" {
+		runRunner(ctx, so)
+		return
+	}
 
 	srv, err := server.New(server.Config{
 		Workers:         so.Workers,
@@ -75,6 +81,9 @@ func main() {
 		CheckpointEvery: so.CheckpointEvery,
 
 		ResolveParallelism: so.ResolveParallelism,
+		LeaseExpiry:        so.LeaseExpiry,
+		FleetBatchMax:      so.FleetBatchMax,
+		FleetLocal:         so.FleetLocal,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynschedd:", err)
@@ -123,4 +132,50 @@ func main() {
 	srv.Wait()
 	log.Printf("dynschedd stopped: %d running job(s) finished, %d queued and %d running dropped",
 		rep.Finished, rep.DroppedQueued, rep.DroppedRunning)
+}
+
+// runRunner is the -join mode: a stateless fleet runner leasing
+// plan-unit batches from the coordinator, with a minimal /healthz and
+// /metrics of its own on -addr (empty = no listener).
+func runRunner(ctx context.Context, so cli.ServerOptions) {
+	reg := metrics.NewRegistry()
+	runner := server.NewRunner(server.RunnerConfig{
+		Coordinator: so.Join,
+		ID:          so.RunnerID,
+		Parallel:    so.Workers,
+		BatchMax:    so.FleetBatchMax,
+		Registry:    reg,
+	})
+
+	var httpSrv *http.Server
+	if so.Addr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"ok":true,"runner":%q,"coordinator":%q,"unitsDone":%d}`+"\n",
+				runner.ID(), so.Join, runner.UnitsDone())
+		})
+		ln, err := net.Listen("tcp", so.Addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynschedd:", err)
+			os.Exit(1)
+		}
+		httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("dynschedd runner listener: %v", err)
+			}
+		}()
+		log.Printf("dynschedd runner %s serving /healthz and /metrics on %s", runner.ID(), ln.Addr())
+	}
+
+	log.Printf("dynschedd runner %s joining fleet at %s", runner.ID(), so.Join)
+	_ = runner.Run(ctx)
+	if httpSrv != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}
+	log.Printf("dynschedd runner %s stopped after %d unit(s)", runner.ID(), runner.UnitsDone())
 }

@@ -61,6 +61,25 @@ type ServerOptions struct {
 	// (0 = leave the model default, 1 = force serial). A pure execution
 	// knob: it never changes results or cache keys.
 	ResolveParallelism int
+	// Join, when set, turns the process into a fleet runner: instead of
+	// serving the job API it leases plan-unit batches from the
+	// coordinator at this base URL, executes them locally and streams
+	// the results back. -addr then serves only the runner's own
+	// /healthz and /metrics.
+	Join string
+	// RunnerID names this runner on the coordinator's fleet roster
+	// (empty = host.pid).
+	RunnerID string
+	// LeaseExpiry is the coordinator's fleet lease lifetime: a runner
+	// silent for this long is presumed dead and its units re-granted
+	// (0 = 15s).
+	LeaseExpiry time.Duration
+	// FleetBatchMax caps one fleet lease grant (0 = 64 units).
+	FleetBatchMax int
+	// FleetLocal sizes the coordinator's own share of plan-unit
+	// execution: 0 = the planner's resolved pool, >0 pins the local
+	// slot count, <0 = dispatch-only (every unit must run on a runner).
+	FleetLocal int
 }
 
 // RegisterServerFlags registers the dynschedd service flags onto fs,
@@ -78,6 +97,11 @@ func RegisterServerFlags(fs *flag.FlagSet, o *ServerOptions) {
 	fs.DurationVar(&o.ShutdownGrace, "shutdown-grace", o.ShutdownGrace, "how long a draining shutdown lets running jobs finish before dropping them for recovery")
 	fs.BoolVar(&o.Pprof, "pprof", o.Pprof, "serve net/http/pprof under /debug/pprof/ for live profiling")
 	fs.IntVar(&o.ResolveParallelism, "resolve-parallelism", o.ResolveParallelism, "default intra-slot resolution workers for submitted scenarios that leave theirs unset (0 = model default, 1 = serial)")
+	fs.StringVar(&o.Join, "join", o.Join, "run as a fleet runner leasing plan units from the coordinator at this base URL (e.g. http://coord:8080); -addr then serves only the runner's /healthz and /metrics")
+	fs.StringVar(&o.RunnerID, "runner-id", o.RunnerID, "fleet roster name for this runner with -join (empty = host.pid)")
+	fs.DurationVar(&o.LeaseExpiry, "lease-expiry", o.LeaseExpiry, "fleet lease lifetime; a runner silent for this long is presumed dead and its units are re-granted (0 = 15s)")
+	fs.IntVar(&o.FleetBatchMax, "batch-max", o.FleetBatchMax, "maximum plan units per fleet lease grant (0 = 64)")
+	fs.IntVar(&o.FleetLocal, "fleet-local", o.FleetLocal, "coordinator's own plan-unit execution slots: 0 = the planner's pool, >0 pins the count, negative = dispatch-only")
 }
 
 // SignalContext returns a context cancelled by SIGINT/SIGTERM. The

@@ -305,6 +305,61 @@ func TestDiagnoseHeuristics(t *testing.T) {
 			t.Fatalf("stuck-job fired on a progressing job: %+v", fs)
 		}
 	})
+	t.Run("runner-starved", func(t *testing.T) {
+		h := api.Health{QueueCapacity: 8, Fleet: &api.FleetHealth{PendingUnits: 4, Runners: 0}}
+		fs := Diagnose(h, Metrics{}, nil, nil)
+		if !names(fs)["runner-starved"] || warns(fs) == 0 {
+			t.Fatalf("findings: %+v", fs)
+		}
+		// With a runner on the roster the parked units are just backlog.
+		h.Fleet.Runners = 1
+		if fs := Diagnose(h, Metrics{}, nil, nil); names(fs)["runner-starved"] {
+			t.Fatalf("runner-starved fired with a live runner: %+v", fs)
+		}
+	})
+	t.Run("lease-thrash", func(t *testing.T) {
+		h := api.Health{QueueCapacity: 8, Fleet: &api.FleetHealth{
+			Runners: 2, LeasedTotal: 20, ReLeased: 5,
+		}}
+		fs := Diagnose(h, Metrics{}, nil, nil)
+		if !names(fs)["lease-thrash"] {
+			t.Fatalf("findings: %+v", fs)
+		}
+		// Below the grant floor one expiry is startup noise, not thrash.
+		h.Fleet.LeasedTotal, h.Fleet.ReLeased = 4, 2
+		if fs := Diagnose(h, Metrics{}, nil, nil); names(fs)["lease-thrash"] {
+			t.Fatalf("lease-thrash fired under %d grants: %+v", minLeasesForRatio, fs)
+		}
+		// At exactly the 20%% boundary the ratio is tolerated.
+		h.Fleet.LeasedTotal, h.Fleet.ReLeased = 20, 4
+		if fs := Diagnose(h, Metrics{}, nil, nil); names(fs)["lease-thrash"] {
+			t.Fatalf("lease-thrash fired at the boundary ratio: %+v", fs)
+		}
+	})
+	t.Run("straggler", func(t *testing.T) {
+		h := api.Health{QueueCapacity: 8, Fleet: &api.FleetHealth{
+			Runners: 3, Merged: 30,
+			RunnerDetail: []api.RunnerHealth{
+				{ID: "fast-1", UnitsPerSec: 4.0},
+				{ID: "fast-2", UnitsPerSec: 4.4},
+				{ID: "slow", UnitsPerSec: 0.5},
+			},
+		}}
+		fs := Diagnose(h, Metrics{}, nil, nil)
+		if !names(fs)["straggler"] {
+			t.Fatalf("findings: %+v", fs)
+		}
+		for _, f := range fs {
+			if f.Name == "straggler" && !strings.Contains(f.Detail, "slow") {
+				t.Fatalf("straggler finding does not name the slow runner: %q", f.Detail)
+			}
+		}
+		// Too few merges: per-runner rates are not comparable yet.
+		h.Fleet.Merged = 3
+		if fs := Diagnose(h, Metrics{}, nil, nil); names(fs)["straggler"] {
+			t.Fatalf("straggler fired under %d merges: %+v", minMergedForStraggler, fs)
+		}
+	})
 	t.Run("journal-torn-and-recovery", func(t *testing.T) {
 		h := api.Health{QueueCapacity: 8, Journal: &api.JournalHealth{
 			ReplayTorn: true, CleanShutdown: false, ReplayedRecords: 12, RecoveredJobs: 2,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"dynsched/api"
@@ -96,6 +97,29 @@ func anyRunning(jobs []api.JobView) bool {
 // not a finding.
 const minLookupsForRatio = 20
 
+// minLeasesForRatio is how many fleet lease grants the lease-thrash
+// heuristic needs before it trusts the re-grant ratio: one expired
+// lease on a two-lease fleet is startup noise, not thrash.
+const minLeasesForRatio = 10
+
+// minMergedForStraggler is how many merged fleet reports the straggler
+// heuristic needs before per-runner throughput comparisons mean
+// anything.
+const minMergedForStraggler = 10
+
+// median returns the median of vs (vs is re-ordered in place).
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	mid := len(vs) / 2
+	if len(vs)%2 == 1 {
+		return vs[mid]
+	}
+	return (vs[mid-1] + vs[mid]) / 2
+}
+
 // Diagnose applies the doctor heuristics to already-fetched state:
 // health, parsed metrics, and two job-list samples taken a moment
 // apart (pass the same slice twice when nothing was running). Pure, so
@@ -139,6 +163,33 @@ func Diagnose(h api.Health, m Metrics, first, second []api.JobView) []Finding {
 		if j.UnitsDone == p.UnitsDone && j.Events == p.Events {
 			out = append(out, Finding{Warn: true, Name: "stuck-job",
 				Detail: fmt.Sprintf("%s is running but neither its unit counter (%d/%d) nor its event log moved between samples", j.ID, j.UnitsDone, j.UnitsTotal)})
+		}
+	}
+
+	if f := h.Fleet; f != nil {
+		if f.PendingUnits > 0 && f.Runners == 0 {
+			out = append(out, Finding{Warn: true, Name: "runner-starved",
+				Detail: fmt.Sprintf("%d plan unit(s) parked for the fleet with zero runners on the roster — start runners (dynschedd -join) or avoid -fleet-local=-1", f.PendingUnits)})
+		}
+		if f.LeasedTotal >= minLeasesForRatio {
+			if ratio := float64(f.ReLeased) / float64(f.LeasedTotal); ratio > 0.2 {
+				out = append(out, Finding{Warn: true, Name: "lease-thrash",
+					Detail: fmt.Sprintf("%d of %d lease grants were re-grants of expired leases (%.0f%%) — runners are dying or too slow for -lease-expiry; raise it or shrink -batch-max", f.ReLeased, f.LeasedTotal, 100*ratio)})
+			}
+		}
+		if len(f.RunnerDetail) >= 2 && f.Merged >= minMergedForStraggler {
+			rates := make([]float64, 0, len(f.RunnerDetail))
+			for _, r := range f.RunnerDetail {
+				rates = append(rates, r.UnitsPerSec)
+			}
+			if med := median(rates); med > 0 {
+				for _, r := range f.RunnerDetail {
+					if r.UnitsPerSec < med/4 {
+						out = append(out, Finding{Warn: true, Name: "straggler",
+							Detail: fmt.Sprintf("runner %s completes %.2f unit/s against a fleet median of %.2f — below a quarter of the fleet; check its host or drop it", r.ID, r.UnitsPerSec, med)})
+					}
+				}
+			}
 		}
 	}
 

@@ -1,0 +1,41 @@
+package ctl
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Fleet renders the coordinator's runner fleet: the lease-table
+// occupancy and merge counters, then one row per runner from the
+// health document's RunnerDetail section.
+func Fleet(ctx context.Context, c *Client, w io.Writer) error {
+	h, err := c.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("fetching health: %w", err)
+	}
+	f := h.Fleet
+	if f == nil || (f.Runners == 0 && f.LeasedTotal == 0 && f.PendingUnits == 0) {
+		fmt.Fprintf(w, "no fleet: no runner has joined %s (start one with: dynschedd -join <url>)\n", c.BaseURL)
+		return nil
+	}
+	fmt.Fprintf(w, "fleet at %s\n", c.BaseURL)
+	fmt.Fprintf(w, "  runners  %d on the roster\n", f.Runners)
+	fmt.Fprintf(w, "  units    %d pending, %d leased out\n", f.PendingUnits, f.Leased)
+	fmt.Fprintf(w, "  leases   %d granted (%d re-grants of expired leases)\n", f.LeasedTotal, f.ReLeased)
+	fmt.Fprintf(w, "  reports  %d merged, %d rejected as stale\n", f.Merged, f.Rejected)
+	if len(f.RunnerDetail) == 0 {
+		return nil
+	}
+	rows := append(f.RunnerDetail[:0:0], f.RunnerDetail...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	fmt.Fprintf(w, "  %-24s %8s %8s %12s %10s\n", "RUNNER", "LEASED", "DONE", "UNITS/SEC", "IDLE")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-24s %8d %8d %12.2f %10s\n",
+			r.ID, r.Leased, r.UnitsDone, r.UnitsPerSec,
+			(time.Duration(r.IdleMs) * time.Millisecond).Truncate(time.Millisecond))
+	}
+	return nil
+}

@@ -14,7 +14,13 @@ type Metrics struct {
 	UnitsRun    *metrics.Counter
 	UnitsCached *metrics.Counter
 	UnitsFailed *metrics.Counter
-	UnitSeconds *metrics.Histogram
+	// UnitsDelegated counts units completed through Options.Delegate —
+	// executed by a remote runner rather than the local pool. Their
+	// wall time (queueing and network included) is deliberately kept
+	// out of UnitSeconds, which measures local execution cost only: a
+	// runner's batch controller sizes leases from its own histogram.
+	UnitsDelegated *metrics.Counter
+	UnitSeconds    *metrics.Histogram
 }
 
 // unitSecondsBuckets spans 1ms to ~17min: CI-scale units finish in
@@ -24,11 +30,25 @@ var unitSecondsBuckets = metrics.ExpBuckets(0.001, 2, 20)
 // NewMetrics registers the planner instruments on r (idempotent).
 func NewMetrics(r *metrics.Registry) *Metrics {
 	return &Metrics{
-		UnitsRun:    r.CounterVec("dynsched_plan_units_total", "Plan units by outcome: run fresh, served from cache, or failed.", "outcome").With("run"),
-		UnitsCached: r.CounterVec("dynsched_plan_units_total", "Plan units by outcome: run fresh, served from cache, or failed.", "outcome").With("cached"),
-		UnitsFailed: r.CounterVec("dynsched_plan_units_total", "Plan units by outcome: run fresh, served from cache, or failed.", "outcome").With("failed"),
-		UnitSeconds: r.Histogram("dynsched_plan_unit_seconds", "Wall time of freshly-executed plan units (cache hits excluded).", unitSecondsBuckets),
+		UnitsRun:       r.CounterVec("dynsched_plan_units_total", "Plan units by outcome: run fresh, served from cache, or failed.", "outcome").With("run"),
+		UnitsCached:    r.CounterVec("dynsched_plan_units_total", "Plan units by outcome: run fresh, served from cache, or failed.", "outcome").With("cached"),
+		UnitsFailed:    r.CounterVec("dynsched_plan_units_total", "Plan units by outcome: run fresh, served from cache, or failed.", "outcome").With("failed"),
+		UnitsDelegated: r.CounterVec("dynsched_plan_units_total", "Plan units by outcome: run fresh, served from cache, or failed.", "outcome").With("delegated"),
+		UnitSeconds:    r.Histogram("dynsched_plan_unit_seconds", "Wall time of freshly-executed plan units (cache hits excluded).", unitSecondsBuckets),
 	}
+}
+
+// observeDelegated records one unit completed by a remote runner (or
+// its failure — remote failures count like local ones).
+func (m *Metrics) observeDelegated(_ time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.UnitsFailed.Inc()
+		return
+	}
+	m.UnitsDelegated.Inc()
 }
 
 // observeCached records one cache-served unit.

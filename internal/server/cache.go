@@ -1,6 +1,10 @@
 package server
 
 import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -16,8 +20,11 @@ import (
 // dynsched.PlanResult for assembled plans) keyed by canonical hashes.
 // Entries live in memory up to a bounded count with FIFO eviction;
 // with a spill directory configured, every entry is also written to
-// disk (<dir>/<hash>.json) and evicted or restarted-over entries are
-// re-served from there. The disk tier is itself bounded by an entry
+// disk gzip-compressed (<dir>/<hash>.json.gz) and evicted or
+// restarted-over entries are re-served from there. Directories written
+// by pre-compression daemons are read transparently: a plain
+// <hash>.json spill file serves exactly like a compressed one, new
+// writes always compress. The disk tier is itself bounded by an entry
 // cap with oldest-modification-time eviction, so a long-lived daemon
 // cannot grow its spill directory without bound. Because simulations
 // are deterministic in their spec (seed included), a cached document
@@ -31,11 +38,25 @@ type Cache struct {
 
 	diskMu  sync.Mutex
 	diskMax int
-	disk    map[string]struct{}
+	disk    map[string]diskEntry
+	// rawBytes/compBytes track the spill tier's size: the bytes the
+	// stored documents decompress to vs what they occupy on disk (the
+	// dynsched_cache_disk_bytes gauge pair; equal for legacy plain
+	// files).
+	rawBytes  int64
+	compBytes int64
 
 	// m, when set via instrument, counts hits/misses/evictions. All
 	// paths tolerate a nil bundle, so the cache works uninstrumented.
 	m *cacheMetrics
+}
+
+// diskEntry is the bookkeeping for one spill file: its format and the
+// byte sizes feeding the disk-bytes gauges.
+type diskEntry struct {
+	gz   bool
+	raw  int64
+	comp int64
 }
 
 // cacheMetrics is the cache's instrument bundle (see metrics.go).
@@ -93,12 +114,26 @@ func NewCache(max int, dir string, diskMax int) *Cache {
 			dir = ""
 		}
 	}
-	c := &Cache{max: max, dir: dir, diskMax: diskMax, entries: map[string][]byte{}, disk: map[string]struct{}{}}
+	c := &Cache{max: max, dir: dir, diskMax: diskMax, entries: map[string][]byte{}, disk: map[string]diskEntry{}}
 	if dir != "" {
 		if des, err := os.ReadDir(dir); err == nil {
 			for _, de := range des {
-				if name := de.Name(); strings.HasSuffix(name, ".json") {
-					c.disk[strings.TrimSuffix(name, ".json")] = struct{}{}
+				name := de.Name()
+				info, err := de.Info()
+				if err != nil {
+					continue
+				}
+				switch {
+				case strings.HasSuffix(name, ".json.gz"):
+					hash := strings.TrimSuffix(name, ".json.gz")
+					raw := gzipRawSize(filepath.Join(dir, name), info.Size())
+					c.addDiskLocked(hash, diskEntry{gz: true, raw: raw, comp: info.Size()})
+				case strings.HasSuffix(name, ".json"):
+					hash := strings.TrimSuffix(name, ".json")
+					if _, dup := c.disk[hash]; dup {
+						continue // the compressed spill wins
+					}
+					c.addDiskLocked(hash, diskEntry{raw: info.Size(), comp: info.Size()})
 				}
 			}
 		}
@@ -107,6 +142,54 @@ func NewCache(max int, dir string, diskMax int) *Cache {
 		c.diskMu.Unlock()
 	}
 	return c
+}
+
+// gzipRawSize recovers the decompressed size of a gzip spill file from
+// its ISIZE trailer (the last four bytes, little-endian) without
+// reading the whole file. size is the on-disk size; malformed or
+// truncated files report 0 and fail later at read time.
+func gzipRawSize(path string, size int64) int64 {
+	if size < 4 {
+		return 0
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	var trailer [4]byte
+	if _, err := f.ReadAt(trailer[:], size-4); err != nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint32(trailer[:]))
+}
+
+// addDiskLocked records one spill file. Used without the lock only
+// during the single-goroutine constructor scan.
+func (c *Cache) addDiskLocked(hash string, e diskEntry) {
+	c.disk[hash] = e
+	c.rawBytes += e.raw
+	c.compBytes += e.comp
+}
+
+// removeDiskLocked drops one spill file's bookkeeping. Callers must
+// hold diskMu.
+func (c *Cache) removeDiskLocked(hash string) {
+	e, ok := c.disk[hash]
+	if !ok {
+		return
+	}
+	delete(c.disk, hash)
+	c.rawBytes -= e.raw
+	c.compBytes -= e.comp
+}
+
+// entryPath returns the on-disk file for a tracked entry.
+func (c *Cache) entryPath(hash string, e diskEntry) string {
+	if e.gz {
+		return c.gzPath(hash)
+	}
+	return c.path(hash)
 }
 
 // Get returns the cached document for hash. Memory is consulted first,
@@ -123,13 +206,36 @@ func (c *Cache) Get(hash string) ([]byte, bool) {
 		c.m.miss()
 		return nil, false
 	}
-	data, err := os.ReadFile(c.path(hash))
-	if err != nil {
+	data, ok := c.readDisk(hash)
+	if !ok {
 		c.m.miss()
 		return nil, false
 	}
 	c.m.hitDisk()
 	c.put(hash, data, false)
+	return data, true
+}
+
+// readDisk loads one spill file, decompressing the gzip format and
+// falling back to a legacy plain file, whatever the bookkeeping says —
+// a racing eviction or an external cleanup must read as a miss, not an
+// error.
+func (c *Cache) readDisk(hash string) ([]byte, bool) {
+	if raw, err := os.ReadFile(c.gzPath(hash)); err == nil {
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, false
+		}
+		data, err := io.ReadAll(zr)
+		if err != nil || zr.Close() != nil {
+			return nil, false
+		}
+		return data, true
+	}
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return nil, false
+	}
 	return data, true
 }
 
@@ -153,14 +259,30 @@ func (c *Cache) put(hash string, data []byte, spill bool) {
 	}
 	c.mu.Unlock()
 	if spill && c.dir != "" {
+		c.diskMu.Lock()
+		_, exists := c.disk[hash]
+		c.diskMu.Unlock()
+		if exists {
+			// Content-addressed: an existing spill file already holds
+			// these exact bytes (in either format).
+			return
+		}
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(data); err != nil {
+			return
+		}
+		if err := zw.Close(); err != nil {
+			return
+		}
 		// Write-then-rename so a crashed daemon never leaves a torn
 		// document a restart would serve.
-		tmp := c.path(hash) + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o644); err == nil {
-			if err := os.Rename(tmp, c.path(hash)); err == nil {
+		tmp := c.gzPath(hash) + ".tmp"
+		if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err == nil {
+			if err := os.Rename(tmp, c.gzPath(hash)); err == nil {
 				c.diskMu.Lock()
 				if _, ok := c.disk[hash]; !ok {
-					c.disk[hash] = struct{}{}
+					c.addDiskLocked(hash, diskEntry{gz: true, raw: int64(len(data)), comp: int64(buf.Len())})
 					c.evictDiskLocked()
 				}
 				c.diskMu.Unlock()
@@ -180,11 +302,11 @@ func (c *Cache) evictDiskLocked() {
 		mtime int64
 	}
 	files := make([]aged, 0, len(c.disk))
-	for hash := range c.disk {
-		info, err := os.Stat(c.path(hash))
+	for hash, e := range c.disk {
+		info, err := os.Stat(c.entryPath(hash, e))
 		if err != nil {
 			// The file is already gone; drop the bookkeeping entry.
-			delete(c.disk, hash)
+			c.removeDiskLocked(hash)
 			continue
 		}
 		files = append(files, aged{hash: hash, mtime: info.ModTime().UnixNano()})
@@ -195,8 +317,8 @@ func (c *Cache) evictDiskLocked() {
 		if len(c.disk) <= c.diskMax {
 			break
 		}
-		_ = os.Remove(c.path(f.hash))
-		delete(c.disk, f.hash)
+		_ = os.Remove(c.entryPath(f.hash, c.disk[f.hash]))
+		c.removeDiskLocked(f.hash)
 		removed++
 	}
 	c.m.evictDiskN(removed)
@@ -217,6 +339,18 @@ func (c *Cache) DiskLen() int {
 	return len(c.disk)
 }
 
+// DiskBytes returns the spill tier's size: the bytes the stored
+// documents decompress to and the bytes they occupy on disk.
+func (c *Cache) DiskBytes() (raw, compressed int64) {
+	c.diskMu.Lock()
+	defer c.diskMu.Unlock()
+	return c.rawBytes, c.compBytes
+}
+
 func (c *Cache) path(hash string) string {
 	return filepath.Join(c.dir, hash+".json")
+}
+
+func (c *Cache) gzPath(hash string) string {
+	return filepath.Join(c.dir, hash+".json.gz")
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -61,7 +62,7 @@ func TestCacheDiskReserveAfterMemoryEviction(t *testing.T) {
 	}
 	// Promotion-on-Get: the disk hit is back in memory (and b was
 	// FIFO-evicted to make room), so deleting the file does not lose it.
-	if err := os.Remove(filepath.Join(dir, "a.json")); err != nil {
+	if err := os.Remove(filepath.Join(dir, "a.json.gz")); err != nil {
 		t.Fatal(err)
 	}
 	data, ok = c.Get("a")
@@ -85,7 +86,7 @@ func TestCacheDiskCap(t *testing.T) {
 		c.Put(hash, []byte{byte(i)})
 		// Distinct mtimes: the filesystem clock may be coarse.
 		past := time.Now().Add(time.Duration(i-10) * time.Second)
-		if err := os.Chtimes(filepath.Join(dir, hash+".json"), past, past); err != nil {
+		if err := os.Chtimes(filepath.Join(dir, hash+".json.gz"), past, past); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -94,17 +95,17 @@ func TestCacheDiskCap(t *testing.T) {
 	if got := c.DiskLen(); got != 3 {
 		t.Fatalf("disk tier holds %d entries, want 3", got)
 	}
-	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	files, err := filepath.Glob(filepath.Join(dir, "*.json.gz"))
 	if err != nil || len(files) != 3 {
 		t.Fatalf("spill directory holds %d files: %v", len(files), err)
 	}
 	for _, old := range []string{"d0", "d1", "d2", "d3"} {
-		if _, err := os.Stat(filepath.Join(dir, old+".json")); err == nil {
+		if _, err := os.Stat(filepath.Join(dir, old+".json.gz")); err == nil {
 			t.Errorf("oldest entry %s survived the disk cap", old)
 		}
 	}
 	for _, kept := range []string{"d4", "d5", "d6"} {
-		if _, err := os.Stat(filepath.Join(dir, kept+".json")); err != nil {
+		if _, err := os.Stat(filepath.Join(dir, kept+".json.gz")); err != nil {
 			t.Errorf("recent entry %s evicted: %v", kept, err)
 		}
 	}
@@ -119,7 +120,7 @@ func TestCacheDiskCapAtStartup(t *testing.T) {
 		hash := fmt.Sprintf("s%d", i)
 		warm.Put(hash, []byte{byte(i)})
 		past := time.Now().Add(time.Duration(i-10) * time.Second)
-		if err := os.Chtimes(filepath.Join(dir, hash+".json"), past, past); err != nil {
+		if err := os.Chtimes(filepath.Join(dir, hash+".json.gz"), past, past); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -130,7 +131,67 @@ func TestCacheDiskCapAtStartup(t *testing.T) {
 	if _, ok := c.Get("s4"); !ok {
 		t.Error("newest entry evicted at startup")
 	}
-	if _, err := os.Stat(filepath.Join(dir, "s0.json")); err == nil {
+	if _, err := os.Stat(filepath.Join(dir, "s0.json.gz")); err == nil {
 		t.Error("oldest entry survived the startup trim")
+	}
+}
+
+// TestCacheGzipSpillAndLegacyRead pins the compressed spill format: new
+// writes land as .json.gz with the compressed size smaller than the raw
+// payload, a legacy uncompressed .json file from an older daemon is
+// still served transparently, and DiskBytes accounts both.
+func TestCacheGzipSpillAndLegacyRead(t *testing.T) {
+	dir := t.TempDir()
+	legacy := []byte(`{"legacy":true}`)
+	if err := os.WriteFile(filepath.Join(dir, "old.json"), legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache(1, dir, 0)
+	if got := c.DiskLen(); got != 1 {
+		t.Fatalf("startup scan found %d entries, want the legacy one", got)
+	}
+	if raw, comp := c.DiskBytes(); raw != int64(len(legacy)) || comp != int64(len(legacy)) {
+		t.Fatalf("legacy accounting raw=%d comp=%d, want both %d", raw, comp, len(legacy))
+	}
+	if data, ok := c.Get("old"); !ok || string(data) != string(legacy) {
+		t.Fatalf("legacy .json entry not served: %q %v", data, ok)
+	}
+
+	// A compressible payload spills as gzip and shrinks on disk.
+	payload := bytes.Repeat([]byte(`{"k":"vvvvvvvv"}`), 256)
+	c.Put("new", payload)
+	c.Put("spacer", []byte("x")) // push "new" out of the memory tier
+	if _, err := os.Stat(filepath.Join(dir, "new.json.gz")); err != nil {
+		t.Fatalf("new entry not spilled as .json.gz: %v", err)
+	}
+	raw, comp := c.DiskBytes()
+	wantRaw := int64(len(legacy) + len(payload) + 1)
+	if raw != wantRaw {
+		t.Fatalf("raw accounting %d, want %d", raw, wantRaw)
+	}
+	if comp >= raw {
+		t.Fatalf("compressed accounting %d not below raw %d for a compressible payload", comp, raw)
+	}
+	if data, ok := c.Get("new"); !ok || string(data) != string(payload) {
+		t.Fatal("gzip spill round-trip lost the payload")
+	}
+
+	// A restart re-scans the mixed-format directory: both formats are
+	// found, raw sizes recovered from the gzip ISIZE trailer, and both
+	// entries still readable.
+	c2 := NewCache(1, dir, 0)
+	if got := c2.DiskLen(); got != 3 {
+		t.Fatalf("restart scan found %d entries, want 3", got)
+	}
+	raw2, comp2 := c2.DiskBytes()
+	if raw2 != raw || comp2 != comp {
+		t.Fatalf("restart accounting raw=%d comp=%d, want %d/%d", raw2, comp2, raw, comp)
+	}
+	if data, ok := c2.Get("new"); !ok || string(data) != string(payload) {
+		t.Fatal("gzip entry unreadable after restart")
+	}
+	if data, ok := c2.Get("old"); !ok || string(data) != string(legacy) {
+		t.Fatal("legacy entry unreadable after restart")
 	}
 }

@@ -24,6 +24,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("/v1/fleet/lease", s.handleFleetLease)
+	mux.HandleFunc("/v1/fleet/report", s.handleFleetReport)
+	mux.HandleFunc("/v1/fleet/heartbeat", s.handleFleetHeartbeat)
+	mux.HandleFunc("/v1/units/", s.handleUnitGet)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.Handle("/metrics", s.metrics.reg.Handler())
 	return mux
@@ -233,6 +237,12 @@ func (s *Server) health() api.Health {
 		Workers:       s.cfg.Workers,
 		WorkersBusy:   busy,
 		Draining:      draining,
+	}
+	if fh := s.fleet.snapshot(); fh.Runners > 0 || fh.LeasedTotal > 0 || fh.PendingUnits > 0 {
+		// The fleet section appears once a runner has ever joined (or
+		// units are parked awaiting one); a purely local server keeps
+		// the pre-fleet document shape.
+		doc.Fleet = fh
 	}
 	if s.journal != nil {
 		st := s.journal.Stats()

@@ -1,0 +1,481 @@
+package server
+
+// The coordinator side of the fleet tier: a lease table distributing
+// plan units to remote runners.
+//
+// Units enter through offer — the plan executor's Delegate hook parks
+// every fresh unit here — and leave one of three ways: a runner leases
+// and reports it (the normal path), an idle local worker claims it
+// through the local-execution semaphore (hybrid coordinators), or the
+// owning plan is cancelled. Leases carry an expiry renewed by reports
+// and heartbeats; the sweeper re-queues units whose lease lapsed,
+// excluding the presumed-dead runner from the re-grant so a zombie
+// cannot keep re-acquiring work it never finishes. Merge is exactly
+// once: a lease ID is valid for one report, a unit's content hash is
+// cross-checked, and late reports against expired leases are rejected
+// idempotently.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dynsched"
+	"dynsched/api"
+)
+
+// Fleet unit lifecycle (fleetUnit.state, guarded by leaseManager.mu).
+const (
+	unitPending   = iota // parked, awaiting a lease or a local claim
+	unitLeased           // out with a runner
+	unitDone             // a report was merged (or failed the unit)
+	unitWithdrawn        // claimed locally or abandoned by cancellation
+)
+
+// fleetUnit is one plan unit parked with the lease manager. The
+// offering goroutine blocks in offer until done closes (remote
+// completion) or it claims the unit back for local execution.
+type fleetUnit struct {
+	pu      dynsched.PlanUnit
+	noCache bool
+
+	// done closes exactly once, when a report is merged; res/err are
+	// written before the close and read only after it.
+	done chan struct{}
+	res  *dynsched.SimResult
+	err  error
+
+	// requeued pulses (buffered, non-blocking send) when an expired
+	// lease returns the unit to pending, re-arming the offerer's
+	// local-claim race.
+	requeued chan struct{}
+
+	// Guarded by leaseManager.mu.
+	state    int
+	leaseID  uint64
+	runner   string
+	deadline time.Time
+	excluded map[string]bool
+	grants   int
+}
+
+// runnerState is the coordinator's bookkeeping for one runner.
+type runnerState struct {
+	id        string
+	firstSeen time.Time
+	lastSeen  time.Time
+	leased    int
+	unitsDone int64
+}
+
+// fleetCounters are the manager's monotonic totals, read into both
+// /healthz and /metrics (all guarded by mu).
+type fleetCounters struct {
+	leasedTotal int64 // lease grants
+	reLeased    int64 // grants that re-issued a previously-leased unit
+	merged      int64 // reports accepted and merged
+	rejected    int64 // reports rejected (stale lease, hash mismatch)
+}
+
+// leaseManager is the coordinator's lease table.
+type leaseManager struct {
+	expiry   time.Duration
+	batchMax int
+
+	mu      sync.Mutex
+	pending []*fleetUnit
+	leased  map[uint64]*fleetUnit
+	runners map[string]*runnerState
+	nextID  uint64
+	counts  fleetCounters
+	wake    chan struct{} // closed and replaced whenever pending grows
+
+	m *serverMetrics // nil-safe: only counter hooks are touched
+}
+
+// Defaults for the lease protocol.
+const (
+	defaultLeaseExpiry   = 15 * time.Second
+	defaultFleetBatchMax = 64
+	// maxFleetInflight bounds how many units one plan parks with the
+	// fleet at a time (the plan pool's virtual-worker count beyond the
+	// local semaphore).
+	maxFleetInflight = 256
+	// runnerForgetAfter is how many expiry periods of silence before a
+	// runner disappears from the fleet roster. Its leases expire first
+	// (deadline <= lastSeen + expiry), so forgetting drops no units.
+	runnerForgetAfter = 3
+)
+
+func newLeaseManager(expiry time.Duration, batchMax int, m *serverMetrics) *leaseManager {
+	if expiry <= 0 {
+		expiry = defaultLeaseExpiry
+	}
+	if batchMax <= 0 {
+		batchMax = defaultFleetBatchMax
+	}
+	return &leaseManager{
+		expiry:   expiry,
+		batchMax: batchMax,
+		leased:   map[uint64]*fleetUnit{},
+		runners:  map[string]*runnerState{},
+		wake:     make(chan struct{}),
+		m:        m,
+	}
+}
+
+// offer parks the unit for the fleet and blocks until it completes
+// remotely (ok=true with the merged result or the remote failure), is
+// claimed back for local execution (ok=false — the caller holds one
+// token from local and must run the unit itself), or ctx is cancelled
+// (ok=true with ctx's error). See plan.Options.Delegate for the token
+// protocol.
+func (lm *leaseManager) offer(ctx context.Context, fu *fleetUnit, local chan struct{}) (*dynsched.SimResult, bool, error) {
+	fu.done = make(chan struct{})
+	fu.requeued = make(chan struct{}, 1)
+	lm.mu.Lock()
+	fu.state = unitPending
+	lm.pending = append(lm.pending, fu)
+	lm.wakeLocked()
+	lm.mu.Unlock()
+
+	for {
+		select {
+		case <-fu.done:
+			return fu.res, true, fu.err
+		case <-ctx.Done():
+			lm.abandon(fu)
+			return nil, true, ctx.Err()
+		case <-local:
+			if lm.claimLocal(fu) {
+				return nil, false, nil
+			}
+			// The unit went out on a lease between the token becoming
+			// free and our claim: hand the token to another unit and
+			// wait — done, cancellation, or a requeue (lease expired)
+			// that re-arms the local race.
+			local <- struct{}{}
+			select {
+			case <-fu.done:
+				return fu.res, true, fu.err
+			case <-ctx.Done():
+				lm.abandon(fu)
+				return nil, true, ctx.Err()
+			case <-fu.requeued:
+			}
+		}
+	}
+}
+
+// claimLocal withdraws a still-pending unit for local execution.
+func (lm *leaseManager) claimLocal(fu *fleetUnit) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if fu.state != unitPending {
+		return false
+	}
+	lm.removePendingLocked(fu)
+	fu.state = unitWithdrawn
+	return true
+}
+
+// abandon withdraws a unit whose plan was cancelled: pending units
+// leave the queue, leased units have their lease invalidated so the
+// eventual report is rejected.
+func (lm *leaseManager) abandon(fu *fleetUnit) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	switch fu.state {
+	case unitPending:
+		lm.removePendingLocked(fu)
+	case unitLeased:
+		delete(lm.leased, fu.leaseID)
+		if r := lm.runners[fu.runner]; r != nil && r.leased > 0 {
+			r.leased--
+		}
+	}
+	fu.state = unitWithdrawn
+}
+
+// removePendingLocked drops fu from the pending queue (order
+// preserved). Callers must hold mu.
+func (lm *leaseManager) removePendingLocked(fu *fleetUnit) {
+	for i, p := range lm.pending {
+		if p == fu {
+			lm.pending = append(lm.pending[:i], lm.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// wakeLocked signals every parked lease long-poll. Callers must hold mu.
+func (lm *leaseManager) wakeLocked() {
+	close(lm.wake)
+	lm.wake = make(chan struct{})
+}
+
+// touchLocked records liveness for the runner, creating its roster
+// entry on first contact. Callers must hold mu.
+func (lm *leaseManager) touchLocked(id string, now time.Time) *runnerState {
+	r := lm.runners[id]
+	if r == nil {
+		r = &runnerState{id: id, firstSeen: now}
+		lm.runners[id] = r
+	}
+	r.lastSeen = now
+	return r
+}
+
+// lease grants up to want pending units to the runner, long-polling up
+// to wait when nothing is pending. The grant is capped by the batch
+// bound and by a fair share — ceil(pending / active runners) — so one
+// greedy runner cannot starve the fleet. Units whose previous lease
+// expired on this runner are excluded from it unless it is the only
+// runner left (starvation escape hatch). Returns the granted units and
+// the active-runner count.
+func (lm *leaseManager) lease(done <-chan struct{}, runner string, want int, wait time.Duration) ([]*fleetUnit, int) {
+	if want < 1 {
+		want = 1
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		now := time.Now()
+		lm.mu.Lock()
+		lm.touchLocked(runner, now)
+		active := len(lm.runners)
+		var grant []*fleetUnit
+		if n := len(lm.pending); n > 0 {
+			quota := minInt(want, lm.batchMax)
+			if share := (n + active - 1) / active; share < quota {
+				quota = share
+			}
+			if quota < 1 {
+				quota = 1
+			}
+			kept := lm.pending[:0]
+			for _, fu := range lm.pending {
+				if len(grant) < quota && (!fu.excluded[runner] || active == 1) {
+					grant = append(grant, fu)
+					continue
+				}
+				kept = append(kept, fu)
+			}
+			lm.pending = kept
+			r := lm.runners[runner]
+			for _, fu := range grant {
+				lm.nextID++
+				fu.state = unitLeased
+				fu.leaseID = lm.nextID
+				fu.runner = runner
+				fu.deadline = now.Add(lm.expiry)
+				fu.grants++
+				lm.leased[fu.leaseID] = fu
+				lm.counts.leasedTotal++
+				if fu.grants > 1 {
+					lm.counts.reLeased++
+				}
+				r.leased++
+			}
+		}
+		wake := lm.wake
+		lm.mu.Unlock()
+		if len(grant) > 0 {
+			lm.m.fleetLeased(len(grant))
+			return grant, active
+		}
+		if remain := time.Until(deadline); remain <= 0 {
+			return nil, active
+		} else {
+			timer := time.NewTimer(minDuration(remain, lm.expiry))
+			select {
+			case <-wake:
+			case <-timer.C:
+			case <-done:
+				timer.Stop()
+				return nil, active
+			}
+			timer.Stop()
+		}
+	}
+}
+
+// errStaleLease rejects a report whose lease is no longer valid: it
+// expired and the unit was re-granted, the unit completed through
+// another path, or the plan was cancelled.
+var errStaleLease = errors.New("stale lease")
+
+// report merges one unit result. Exactly-once: the lease ID is
+// consumed here under the lock, the unit hash is cross-checked, and
+// any later report for the same lease (or an expired one) gets
+// errStaleLease — never a second merge.
+func (lm *leaseManager) report(runner string, rep api.UnitReport) error {
+	now := time.Now()
+	lm.mu.Lock()
+	fu := lm.leased[rep.Lease]
+	if fu == nil || fu.state != unitLeased || fu.runner != runner || fu.pu.Hash != rep.Hash {
+		lm.counts.rejected++
+		lm.mu.Unlock()
+		lm.m.fleetReport("rejected")
+		return errStaleLease
+	}
+	delete(lm.leased, rep.Lease)
+	fu.state = unitDone
+	r := lm.touchLocked(runner, now)
+	if r.leased > 0 {
+		r.leased--
+	}
+	r.unitsDone++
+	lm.counts.merged++
+	lm.mu.Unlock()
+
+	if rep.Error != "" {
+		fu.err = fmt.Errorf("runner %s: %s", runner, rep.Error)
+		lm.m.fleetReport("failed")
+	} else {
+		res := new(dynsched.SimResult)
+		if err := json.Unmarshal(rep.Result, res); err != nil {
+			fu.err = fmt.Errorf("runner %s: undecodable result for unit %s: %v", runner, rep.Hash, err)
+			lm.m.fleetReport("failed")
+		} else {
+			fu.res = res
+			lm.m.fleetReport("merged")
+		}
+	}
+	close(fu.done)
+	return nil
+}
+
+// renew extends every lease the runner holds and records liveness.
+func (lm *leaseManager) renew(runner string) int {
+	now := time.Now()
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.touchLocked(runner, now)
+	deadline := now.Add(lm.expiry)
+	n := 0
+	for _, fu := range lm.leased {
+		if fu.runner == runner {
+			fu.deadline = deadline
+			n++
+		}
+	}
+	return n
+}
+
+// sweep re-queues units whose lease expired — excluding the lapsed
+// runner from the re-grant — and forgets runners silent for several
+// expiry periods. Returns how many units were released.
+func (lm *leaseManager) sweep(now time.Time) int {
+	lm.mu.Lock()
+	released := lm.releaseLocked(func(fu *fleetUnit) bool { return now.After(fu.deadline) }, true)
+	for id, r := range lm.runners {
+		if now.Sub(r.lastSeen) > time.Duration(runnerForgetAfter)*lm.expiry {
+			delete(lm.runners, id)
+		}
+	}
+	lm.mu.Unlock()
+	lm.m.fleetReleased(released)
+	return released
+}
+
+// releaseAll returns every leased unit to the pending queue without
+// excluding its holder — the draining coordinator's path: reports can
+// no longer be relied on, so outstanding units must become grantable
+// (to surviving runners) or locally claimable again instead of
+// dangling on dead leases past the drain grace.
+func (lm *leaseManager) releaseAll() int {
+	lm.mu.Lock()
+	released := lm.releaseLocked(func(*fleetUnit) bool { return true }, false)
+	lm.mu.Unlock()
+	lm.m.fleetReleased(released)
+	return released
+}
+
+// releaseLocked moves leased units matching expired back to pending.
+// exclude marks the lapsed runner so the re-grant goes elsewhere.
+// Callers must hold mu.
+func (lm *leaseManager) releaseLocked(expired func(*fleetUnit) bool, exclude bool) int {
+	released := 0
+	for id, fu := range lm.leased {
+		if !expired(fu) {
+			continue
+		}
+		delete(lm.leased, id)
+		if r := lm.runners[fu.runner]; r != nil && r.leased > 0 {
+			r.leased--
+		}
+		if exclude {
+			if fu.excluded == nil {
+				fu.excluded = map[string]bool{}
+			}
+			fu.excluded[fu.runner] = true
+		}
+		fu.state = unitPending
+		lm.pending = append(lm.pending, fu)
+		select {
+		case fu.requeued <- struct{}{}:
+		default:
+		}
+		released++
+	}
+	if released > 0 {
+		lm.wakeLocked()
+	}
+	return released
+}
+
+// snapshot assembles the /healthz fleet section.
+func (lm *leaseManager) snapshot() *api.FleetHealth {
+	now := time.Now()
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	h := &api.FleetHealth{
+		Runners:      len(lm.runners),
+		PendingUnits: len(lm.pending),
+		Leased:       len(lm.leased),
+		LeasedTotal:  lm.counts.leasedTotal,
+		ReLeased:     lm.counts.reLeased,
+		Merged:       lm.counts.merged,
+		Rejected:     lm.counts.rejected,
+	}
+	for _, r := range lm.runners {
+		age := now.Sub(r.firstSeen)
+		if age <= 0 {
+			age = time.Millisecond
+		}
+		h.RunnerDetail = append(h.RunnerDetail, api.RunnerHealth{
+			ID:          r.id,
+			Leased:      r.leased,
+			UnitsDone:   r.unitsDone,
+			UnitsPerSec: float64(r.unitsDone) / age.Seconds(),
+			IdleMs:      now.Sub(r.lastSeen).Milliseconds(),
+		})
+	}
+	sort.Slice(h.RunnerDetail, func(i, j int) bool { return h.RunnerDetail[i].ID < h.RunnerDetail[j].ID })
+	return h
+}
+
+// occupancy reports the live gauge readings (runners, pending, leased).
+func (lm *leaseManager) occupancy() (runners, pending, leased int) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return len(lm.runners), len(lm.pending), len(lm.leased)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -35,6 +35,37 @@ type serverMetrics struct {
 	journalAppends   *metrics.Counter
 	journalFsyncs    *metrics.Counter
 	checkpointWrites *metrics.Counter
+
+	fleetLeases   *metrics.Counter    // lease grants (units, not round-trips)
+	fleetReleases *metrics.Counter    // leases released by expiry or drain
+	fleetReports  *metrics.CounterVec // outcome: merged|failed|rejected
+	fleetBatch    *metrics.Histogram  // units per lease grant
+}
+
+// fleetLeased records one lease grant of n units.
+func (m *serverMetrics) fleetLeased(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.fleetLeases.Add(uint64(n))
+	m.fleetBatch.Observe(float64(n))
+}
+
+// fleetReleased records n leases released (expiry sweep or drain).
+func (m *serverMetrics) fleetReleased(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.fleetReleases.Add(uint64(n))
+}
+
+// fleetReport records one unit report by outcome (merged, failed —
+// the remote execution errored — or rejected as stale).
+func (m *serverMetrics) fleetReport(outcome string) {
+	if m == nil {
+		return
+	}
+	m.fleetReports.With(outcome).Inc()
 }
 
 // newServerMetrics builds the server's registry and registers the full
@@ -63,6 +94,11 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.cacheEvictMem = evict.With("memory")
 	m.cacheEvictDisk = evict.With("disk")
 
+	m.fleetLeases = r.Counter("dynsched_fleet_leases_total", "Plan units granted to fleet runners (re-grants included).")
+	m.fleetReleases = r.Counter("dynsched_fleet_releases_total", "Fleet leases released by expiry or drain and returned to pending.")
+	m.fleetReports = r.CounterVec("dynsched_fleet_reports_total", "Fleet unit reports, by outcome: merged, failed (remote execution error), rejected (stale lease).", "outcome")
+	m.fleetBatch = r.Histogram("dynsched_fleet_batch_units", "Units per fleet lease grant.", metrics.ExpBuckets(1, 2, 10))
+
 	r.GaugeFunc("dynsched_queue_depth", "Jobs waiting for a worker.", func() float64 {
 		return float64(s.queueLen())
 	})
@@ -87,6 +123,21 @@ func newServerMetrics(s *Server) *serverMetrics {
 	})
 	r.GaugeFunc("dynsched_cache_disk_entries", "Result-cache entries in the disk spill directory.", func() float64 {
 		return float64(s.cache.DiskLen())
+	})
+	diskBytes := r.GaugeVec("dynsched_cache_disk_bytes", "Result-cache disk spill size: compressed bytes on disk vs the raw document bytes they decompress to.", "kind")
+	diskBytes.Func(func() float64 { _, c := s.cache.DiskBytes(); return float64(c) }, "compressed")
+	diskBytes.Func(func() float64 { raw, _ := s.cache.DiskBytes(); return float64(raw) }, "raw")
+	r.GaugeFunc("dynsched_fleet_runners", "Runners on the fleet roster (heartbeated within the forget window).", func() float64 {
+		n, _, _ := s.fleet.occupancy()
+		return float64(n)
+	})
+	r.GaugeFunc("dynsched_fleet_pending_units", "Plan units parked awaiting a lease or a local slot.", func() float64 {
+		_, n, _ := s.fleet.occupancy()
+		return float64(n)
+	})
+	r.GaugeFunc("dynsched_fleet_leased_units", "Plan units currently out on a fleet lease.", func() float64 {
+		_, _, n := s.fleet.occupancy()
+		return float64(n)
 	})
 	r.GaugeFunc("dynsched_recovered_jobs", "Incomplete jobs re-enqueued from the journal at startup.", func() float64 {
 		return float64(s.recovered)

@@ -83,6 +83,19 @@ type Config struct {
 	// are bit-identical at every value and scenario hashes (and hence
 	// cache keys) exclude it.
 	ResolveParallelism int
+	// LeaseExpiry is the fleet lease lifetime (0 = 15s): a runner that
+	// neither reports nor heartbeats for this long is presumed dead and
+	// its units are re-granted elsewhere.
+	LeaseExpiry time.Duration
+	// FleetBatchMax caps one lease grant (0 = 64 units).
+	FleetBatchMax int
+	// FleetLocal sizes the coordinator's own execution share of plan
+	// units: 0 keeps the planner's resolved pool (the scenario's
+	// Sim.Parallel, GOMAXPROCS by default), a positive value pins the
+	// local slot count, and a negative value makes the coordinator
+	// dispatch-only — every plan unit must complete through a runner,
+	// so a fleet must be attached.
+	FleetLocal int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +124,7 @@ type Server struct {
 	cache   *Cache
 	queue   chan *Job
 	metrics *serverMetrics
+	fleet   *leaseManager
 
 	// Durability (nil/zero when Config.JournalDir is empty).
 	journal       *journal.Journal
@@ -146,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 		running: map[string]*Job{},
 	}
 	s.metrics = newServerMetrics(s)
+	s.fleet = newLeaseManager(cfg.LeaseExpiry, cfg.FleetBatchMax, s.metrics)
 	s.cache.instrument(&cacheMetrics{
 		hitsMem:   s.metrics.cacheHitsMem,
 		hitsDisk:  s.metrics.cacheHitsDisk,
@@ -169,6 +184,35 @@ func (s *Server) Start(ctx context.Context) {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker(ctx)
+	}
+	// The fleet lease sweeper rides its own goroutine, not the worker
+	// WaitGroup: it must keep re-granting expired leases through a
+	// drain (Drain waits on the pool while released units finish) and
+	// only stops when the Start context does.
+	go s.fleetSweeper(ctx)
+}
+
+// fleetSweeper periodically re-queues expired fleet leases so units
+// held by dead runners are re-granted. The tick is a quarter of the
+// expiry, clamped to [5ms, 250ms] so tests with millisecond expiries
+// observe prompt re-leasing without a busy loop.
+func (s *Server) fleetSweeper(ctx context.Context) {
+	tick := s.fleet.expiry / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			s.fleet.sweep(now)
+		}
 	}
 }
 
@@ -212,6 +256,15 @@ func (s *Server) Drain(grace time.Duration) DrainReport {
 	atStart := len(s.running)
 	s.mu.Unlock()
 	close(s.drainCh)
+
+	// Release every unit currently leased to a runner: reports can no
+	// longer be waited on across the grace window, so leased units go
+	// back to pending where a surviving runner re-leases them (or an
+	// idle local slot claims them) — instead of dangling on a dead
+	// runner's lease until its expiry and forcing the drain to drop
+	// the owning plan job. Late reports against the released leases
+	// are rejected idempotently.
+	s.fleet.releaseAll()
 
 	var rep DrainReport
 	// Jobs still queued will never be dequeued (workers stop at the
@@ -427,6 +480,30 @@ func (s *Server) runPlan(ctx context.Context, j *Job) ([]byte, error) {
 			}
 			return &res, true
 		}
+	}
+	// Fleet tier: park every fresh unit with the lease manager so
+	// attached runners can lease it, while the local-execution
+	// semaphore keeps this coordinator's own share of the work. The
+	// pool is sized local + virtual so up to maxFleetInflight units can
+	// be out with the fleet beyond what runs here; with no runners
+	// attached every unit falls straight through to a local slot.
+	localN := p.Source.Sim.Parallel
+	if localN <= 0 {
+		localN = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case s.cfg.FleetLocal > 0:
+		localN = s.cfg.FleetLocal
+	case s.cfg.FleetLocal < 0:
+		localN = 0
+	}
+	opts.Parallel = localN + minInt(len(p.Units), maxFleetInflight)
+	if opts.LocalParallel = localN; localN == 0 {
+		opts.LocalParallel = -1 // dispatch-only
+	}
+	noCache := j.noCache
+	opts.Delegate = func(dctx context.Context, u dynsched.PlanUnit, local chan struct{}) (*dynsched.SimResult, bool, error) {
+		return s.fleet.offer(dctx, &fleetUnit{pu: u, noCache: noCache}, local)
 	}
 	if s.journal != nil && s.cfg.CheckpointEvery > 0 {
 		opts.CheckpointEvery = s.cfg.CheckpointEvery

@@ -408,7 +408,7 @@ func TestCacheDiskSpill(t *testing.T) {
 	b := lineScenario("spill-b", 2_000, 2)
 	_, jobA := submitScenario(t, ts, a)
 	waitForState(t, ts, jobA.ID, StateDone)
-	if _, err := os.Stat(filepath.Join(dir, a.Hash()+".json")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, a.Hash()+".json.gz")); err != nil {
 		t.Fatalf("result not spilled to disk: %v", err)
 	}
 

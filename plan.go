@@ -330,6 +330,16 @@ type ExecOptions struct {
 	// Metrics, when set, counts every unit's outcome (run/cached/failed)
 	// and records fresh-run wall time (see plan.Metrics).
 	Metrics *PlanMetrics
+	// Delegate, when set, may execute a unit on a remote runner instead
+	// of the local pool (dynschedd's fleet tier). See plan.Options for
+	// the token protocol; a successfully delegated unit's result flows
+	// through Store exactly like a local fresh run, so caching and
+	// journaling hold fleet-wide.
+	Delegate func(ctx context.Context, u PlanUnit, local chan struct{}) (*SimResult, bool, error)
+	// LocalParallel sizes the local-execution semaphore when Delegate is
+	// set: 0 = Parallel's resolved value, negative = dispatch-only (no
+	// local execution).
+	LocalParallel int
 	// CheckpointEvery, when positive, checkpoints each running unit
 	// every so many slots (at the protocol's next frame boundary),
 	// handing the snapshots to SaveCheckpoint. Units whose components
@@ -379,6 +389,17 @@ func (p *Plan) Execute(ctx context.Context, opts ExecOptions) (*PlanResult, erro
 	if opts.OnUnit != nil {
 		popts.OnUnit = func(u plan.Unit, _ *SimResult, cached bool, err error, pr plan.Progress) {
 			opts.OnUnit(p.Units[u.Index], cached, err, PlanProgress{Done: pr.Done, Cached: pr.Cached, Total: pr.Total})
+		}
+	}
+	if opts.Delegate != nil {
+		popts.LocalParallel = opts.LocalParallel
+		popts.Delegate = func(dctx context.Context, u plan.Unit, local chan struct{}) (*SimResult, bool, error) {
+			pu := p.Units[u.Index]
+			res, ok, err := opts.Delegate(dctx, pu, local)
+			if ok && err == nil && opts.Store != nil {
+				opts.Store(pu, res)
+			}
+			return res, ok, err
 		}
 	}
 	out, err := plan.Execute(ctx, units, popts, func(uctx context.Context, u plan.Unit) (*SimResult, error) {
